@@ -1,0 +1,34 @@
+"""Ablation: sensitivity of the Figure 6 conclusion to the scheduling policy.
+
+The paper only simulates the GOMP breadth-first scheduler.  This ablation
+re-runs the Figure 6 metric (percentage change of the average makespan of
+``tau`` w.r.t. ``tau'``) under three different work-conserving policies and
+checks that the qualitative conclusion -- the transformation pays off once
+``C_off`` is a non-trivial share of the volume -- is not an artefact of the
+breadth-first policy.
+"""
+
+from __future__ import annotations
+
+
+def test_ablation_scheduler(benchmark, experiment_scale, publish):
+    from repro.experiments.ablations import run_scheduler_ablation
+
+    cores = 4 if 4 in experiment_scale.core_counts else experiment_scale.core_counts[0]
+    result = benchmark.pedantic(
+        run_scheduler_ablation,
+        kwargs={"scale": experiment_scale, "cores": cores},
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+
+    for label in ("breadth-first", "depth-first"):
+        series = result.series_by_label(label)
+        assert max(series.y) > 0, f"{label}: the transformation never paid off"
+
+    # The critical-path-first policy already avoids most host idling, so the
+    # transformation helps it the least at the largest fraction.
+    cp_first = result.series_by_label("critical-path-first")
+    breadth = result.series_by_label("breadth-first")
+    assert max(cp_first.y) <= max(breadth.y) + 15.0  # generous noise margin

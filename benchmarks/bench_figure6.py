@@ -1,0 +1,44 @@
+"""Benchmark / reproduction of Figure 6 (Section 5.2).
+
+Percentage change of the average simulated execution time of the original
+task ``tau`` with respect to the transformed task ``tau'`` under the
+GOMP-style breadth-first scheduler, as the offloaded workload grows from a
+few percent to most of the task volume.
+
+Expected qualitative shape (checked below):
+
+* for very small ``C_off`` the transformation *hurts* (negative values) --
+  the paper reports crossovers around 11 %, 8 %, 6 % and 4.5 % of the volume
+  for m = 2, 4, 8 and 16;
+* beyond the crossover the transformation pays off (positive values), because
+  the synchronisation point prevents the host from idling while the
+  accelerator works (Figure 1(c));
+* the benefit shrinks again for very large ``C_off`` in relative terms, since
+  the offloaded execution dominates both makespans.
+"""
+
+from __future__ import annotations
+
+
+def test_figure6(benchmark, experiment_scale, publish):
+    from repro.experiments.figure6 import run_figure6
+
+    result = benchmark.pedantic(
+        run_figure6, kwargs={"scale": experiment_scale}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for cores in experiment_scale.core_counts:
+        series = result.series_by_label(f"m={cores}")
+        # The transformation must win for a sufficiently large offloaded
+        # fraction: the largest sampled fractions show a positive change.
+        assert max(series.y) > 0, f"transformation never paid off for m={cores}"
+        # The peak benefit is not at the smallest fraction.
+        assert series.y[0] < max(series.y)
+
+    # Small-C_off penalty grows with the core count (more parallelism lost),
+    # so the first sample for the largest host is no better than for the
+    # smallest host.
+    smallest = result.series_by_label(f"m={min(experiment_scale.core_counts)}")
+    largest = result.series_by_label(f"m={max(experiment_scale.core_counts)}")
+    assert largest.y[0] <= smallest.y[0] + 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark / reproduction of Figure 7 (Section 5.3).
+
+Average increment (in percent) of ``R_hom(tau)`` and ``R_het(tau')`` over the
+minimum makespan computed by the ILP oracle, for small tasks, as a function
+of the offloaded fraction.
+
+Expected qualitative shape (checked below):
+
+* both bounds always lie above the optimum (non-negative increments);
+* the pessimism of ``R_het`` decreases as ``C_off`` grows (the paper reports
+  it dropping below 1 % once the offloaded fraction is large enough);
+* for large fractions ``R_het`` is tighter than ``R_hom``; only for very
+  small fractions can ``R_hom`` win.
+
+Substitution note: the paper used CPLEX with WCETs in ``[1, 100]`` and up to
+12 hours per instance; at quick scale this harness uses HiGHS with a reduced
+WCET range so the whole figure regenerates in seconds (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+
+def test_figure7(benchmark, experiment_scale, publish):
+    from repro.experiments.figure7 import run_figure7
+
+    result = benchmark.pedantic(
+        run_figure7, kwargs={"scale": experiment_scale}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    evaluated = [m for m in experiment_scale.core_counts if m in (2, 8)] or list(
+        experiment_scale.core_counts[:2]
+    )
+    for cores in evaluated:
+        hom = result.series_by_label(f"R_hom m={cores}")
+        het = result.series_by_label(f"R_het m={cores}")
+        # Upper bounds never undercut the optimal makespan.
+        assert all(value >= -1e-6 for value in hom.y)
+        assert all(value >= -1e-6 for value in het.y)
+        # The heterogeneous bound tightens as the offloaded share grows ...
+        assert het.y[-1] <= het.y[0] + 1e-9
+        # ... and ends up at least as tight as the homogeneous bound.
+        assert het.y[-1] <= hom.y[-1] + 1e-9

@@ -1,0 +1,47 @@
+"""Benchmark / reproduction of Figure 8 (Section 5.4).
+
+Occurrence percentage of the three Theorem 1 execution scenarios for random
+large tasks as the offloaded fraction grows.
+
+Expected qualitative shape (checked below):
+
+* Scenario 1 dominates for small fractions and fades away as ``C_off``
+  grows (the paper locates the hand-over below ~8 % of the volume);
+* Scenario 2.2 takes over for intermediate fractions;
+* Scenario 2.1 grows for large fractions, and it appears *earlier* for larger
+  host sizes because ``R_hom(G_par)`` shrinks with ``m``;
+* at every sweep point the three percentages sum to 100 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_figure8(benchmark, experiment_scale, publish):
+    from repro.experiments.figure8 import run_figure8
+
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"scale": experiment_scale}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    fractions = experiment_scale.fractions
+    for cores in experiment_scale.core_counts:
+        scenario1 = result.series_by_label(f"scenario 1 m={cores}")
+        scenario21 = result.series_by_label(f"scenario 2.1 m={cores}")
+        scenario22 = result.series_by_label(f"scenario 2.2 m={cores}")
+        for index in range(len(fractions)):
+            total = scenario1.y[index] + scenario21.y[index] + scenario22.y[index]
+            assert total == pytest.approx(100.0)
+        # Scenario 1 fades as the offloaded fraction grows.
+        assert scenario1.y[0] >= scenario1.y[-1]
+        # Scenario 2.1 eventually appears (large fractions push C_off past
+        # R_hom(G_par)).
+        assert max(scenario21.y) > 0 or max(fractions) < 0.2
+
+    # Larger hosts reach Scenario 2.1 earlier (or at least as early).
+    smallest, largest = min(experiment_scale.core_counts), max(experiment_scale.core_counts)
+    small_21 = result.series_by_label(f"scenario 2.1 m={smallest}")
+    large_21 = result.series_by_label(f"scenario 2.1 m={largest}")
+    assert sum(large_21.y) >= sum(small_21.y) - 1e-9

@@ -1,0 +1,43 @@
+"""Benchmark / reproduction of Figure 9 (Section 5.4).
+
+Percentage change of ``R_hom(tau)`` with respect to ``R_het(tau')`` for
+random large tasks, per host size, as the offloaded fraction grows.
+
+Expected qualitative shape (checked below):
+
+* the heterogeneous analysis wins for all but the smallest fractions (the
+  paper locates the crossovers below 1.6-5 % of the volume);
+* the average gain grows with ``C_off`` up to a peak located where
+  ``C_off = R_hom(G_par)`` (the paper reports peaks of roughly 70 %, 55 %,
+  40 % and 30 % for m = 2, 4, 8, 16);
+* the gain ordering follows the host size: smaller ``m`` benefits more,
+  because the interference term is divided by ``m``.
+"""
+
+from __future__ import annotations
+
+
+def test_figure9(benchmark, experiment_scale, publish):
+    from repro.experiments.figure9 import run_figure9
+
+    result = benchmark.pedantic(
+        run_figure9, kwargs={"scale": experiment_scale}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    core_counts = list(experiment_scale.core_counts)
+    peaks = {}
+    for cores in core_counts:
+        series = result.series_by_label(f"m={cores}")
+        peak_x, peak_y = series.max_point()
+        peaks[cores] = (peak_x, peak_y)
+        # The heterogeneous bound wins decisively for large fractions.
+        assert peak_y > 0
+        assert series.y[-1] > series.y[0]
+        # The maximum observed single-task difference dominates the average.
+        assert series.metadata["max_observed_difference"] >= peak_y - 1e-9
+
+    # Gain ordering across host sizes at the peak: smaller m gains more.
+    ordered = sorted(core_counts)
+    for small, large in zip(ordered, ordered[1:]):
+        assert peaks[small][1] >= peaks[large][1] - 5.0  # allow sampling noise

@@ -1,0 +1,46 @@
+"""Reproduction of the paper's "similar trends for n in [250, 400]" claim.
+
+Sections 5.2 and 5.4 evaluate on large tasks with n in [100, 250] and note
+that "similar trends have been observed when n in [250, 400]".  This
+benchmark re-runs the Figure 9 comparison on the upper node range and checks
+that the qualitative conclusions indeed carry over:
+
+* the heterogeneous analysis wins beyond a small offloaded fraction,
+* the gain grows with the offloaded share,
+* smaller hosts gain more than larger ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+
+def test_figure9_upper_node_range(benchmark, experiment_scale, publish):
+    from repro.experiments.figure9 import run_figure9
+    from repro.generator.presets import LARGE_TASKS_UPPER_RANGE
+
+    # Generating 250-400 node DAGs is ~2x the work of the main figure; trim
+    # the number of DAGs accordingly at quick scale.
+    scale = replace(
+        experiment_scale,
+        dags_per_point=max(3, experiment_scale.dags_per_point // 2),
+    )
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"scale": scale, "generator_config": LARGE_TASKS_UPPER_RANGE},
+        rounds=1,
+        iterations=1,
+    )
+    result.name = "figure9-upper-range"
+    result.title += " (n in [250, 400])"
+    publish(result)
+
+    core_counts = sorted(scale.core_counts)
+    peak = {}
+    for cores in core_counts:
+        series = result.series_by_label(f"m={cores}")
+        peak[cores] = series.max_point()[1]
+        assert peak[cores] > 0
+        assert series.y[-1] > series.y[0]
+    for small, large in zip(core_counts, core_counts[1:]):
+        assert peak[small] >= peak[large] - 5.0

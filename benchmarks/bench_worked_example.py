@@ -1,0 +1,30 @@
+"""Benchmark / reproduction of the worked example of Figures 1 and 2.
+
+Regenerates every number quoted in Sections 3.2-3.3 of the paper:
+
+=====================================  ======
+metric                                 value
+=====================================  ======
+vol(G)                                 18
+len(G)                                 8
+R_hom (Eq. 1, m = 2)                   13
+naive (unsafe) bound                   11
+worst-case work-conserving makespan    12
+len(G') after Algorithm 1              10
+makespan of the transformed schedule   10
+R_het (Theorem 1)                      12
+=====================================  ======
+"""
+
+from __future__ import annotations
+
+
+def test_worked_example(benchmark, publish):
+    from repro.experiments.worked_example import EXPECTED_VALUES, run_worked_example
+
+    result = benchmark.pedantic(run_worked_example, rounds=3, iterations=1)
+    publish(result)
+
+    values = result.series[0].metadata["values"]
+    for name, expected in EXPECTED_VALUES.items():
+        assert values[name] == expected, f"{name}: got {values[name]}, paper says {expected}"

@@ -1,0 +1,68 @@
+"""Shared configuration of the benchmark harness.
+
+Each benchmark regenerates one artefact of the paper's evaluation (a figure,
+the worked example, or one of the reproduction's ablations), prints the
+corresponding text table and writes it to ``benchmarks/results/``.
+
+Scale selection
+---------------
+By default the benchmarks run at *quick* scale (a few seconds per figure,
+qualitative shapes preserved).  Set the environment variable
+``REPRO_BENCH_SCALE=paper`` to run the paper-scale configuration (100 DAGs
+per sweep point, all four host sizes) -- expect minutes to hours, dominated
+by the ILP experiment of Figure 7.
+``REPRO_BENCH_DAGS=<n>`` overrides the number of DAGs per sweep point.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_scale():
+    """The :class:`repro.experiments.ExperimentScale` used by every benchmark."""
+    from repro.experiments.config import paper_scale, quick_scale
+
+    scale = paper_scale() if os.environ.get("REPRO_BENCH_SCALE") == "paper" else quick_scale()
+    dags_override = os.environ.get("REPRO_BENCH_DAGS")
+    if dags_override:
+        scale = scale.with_dags_per_point(int(dags_override))
+    return scale
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory receiving the rendered tables and CSV exports."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def publish(results_dir: Path):
+    """Callable fixture: render a result, persist it and print the table."""
+    from repro.experiments.tables import render_result, write_csv
+
+    def _publish(result) -> str:
+        table = render_result(result)
+        (results_dir / f"{result.name}.txt").write_text(table + "\n", encoding="utf-8")
+        write_csv(result, results_dir / f"{result.name}.csv")
+        result.to_json(results_dir / f"{result.name}.json")
+        print()
+        print(table)
+        for series in result.series:
+            if series.metadata:
+                print(f"  [{series.label}] {series.metadata}")
+        return table
+
+    return _publish

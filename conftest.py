@@ -1,0 +1,17 @@
+"""Pytest bootstrap for running the suite from a source checkout.
+
+The test-suite and the benchmarks import :mod:`repro` as an installed
+package (``pip install -e .``).  In fully offline environments the editable
+install may be unavailable (pip's build isolation cannot download
+``setuptools``); inserting ``src/`` into ``sys.path`` keeps ``pytest`` usable
+straight from the repository in that case.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

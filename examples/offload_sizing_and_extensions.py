@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Domain example: sizing the offloaded region + the future-work extensions.
+
+Part 1 -- *How much work should I offload?*
+    For a fixed application, sweep the share of work moved into the
+    accelerator kernel and look at three curves: the homogeneous bound, the
+    heterogeneous bound and the simulated average behaviour.  This is the
+    per-application version of Figures 6 and 9 and directly answers a common
+    co-design question ("is the DMA + kernel-launch overhead worth it?").
+
+Part 2 -- *More offloaded regions, more devices* (the paper's future work).
+    The same application is then split into two offloaded kernels, first
+    sharing one accelerator (``repro.extensions.multi_offload``), then spread
+    over two devices (``repro.extensions.multi_device``), and the provided
+    sound bounds are compared against simulation -- including the
+    counterexample showing that the classical Eq. 1 is *unsafe* once two
+    kernels share one device.
+
+Run with:  python examples/offload_sizing_and_extensions.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DagTask,
+    heterogeneous_response_time,
+    homogeneous_response_time,
+    pin_offloaded_fraction,
+    simulate_makespan,
+    transform,
+)
+from repro.extensions import (
+    MultiOffloadTask,
+    balance_devices,
+    multi_device_response_time,
+    multi_offload_response_time,
+    simulate_multi_device,
+    simulate_multi_offload,
+)
+
+CORES = 4
+
+
+def build_application() -> DagTask:
+    """A DSP-style application: pre-processing, two filter banks, reduction."""
+    wcets = {
+        "ingest": 2,
+        "window": 3,
+        "fft": 12,  # candidate kernel #1
+        "beamform": 14,  # candidate kernel #2 (offloaded by default)
+        "doppler_0": 5,
+        "doppler_1": 5,
+        "doppler_2": 5,
+        "cfar": 6,
+        "cluster": 4,
+        "report": 1,
+    }
+    edges = [
+        ("ingest", "window"),
+        ("window", "fft"),
+        ("window", "doppler_0"),
+        ("window", "doppler_1"),
+        ("window", "doppler_2"),
+        ("fft", "beamform"),
+        ("beamform", "cfar"),
+        ("doppler_0", "cfar"),
+        ("doppler_1", "cfar"),
+        ("doppler_2", "cfar"),
+        ("cfar", "cluster"),
+        ("cluster", "report"),
+    ]
+    return DagTask.from_wcets(
+        wcets, edges, offloaded_node="beamform", name="radar-chain"
+    )
+
+
+def part1_offload_sizing(task: DagTask) -> None:
+    print("Part 1: how much work is worth offloading? (m = 4 host cores)")
+    print()
+    print(
+        f"{'offload %':>10}  {'C_off':>7}  {'R_hom':>8}  {'R_het':>8}  "
+        f"{'sim tau':>8}  {'sim tau_prime':>13}"
+    )
+    for share in (0.05, 0.10, 0.20, 0.30, 0.40, 0.55):
+        sized = pin_offloaded_fraction(task, share)
+        transformed = transform(sized)
+        hom = homogeneous_response_time(sized, CORES).bound
+        het = heterogeneous_response_time(transformed, CORES).bound
+        sim_original = simulate_makespan(sized, CORES)
+        sim_transformed = simulate_makespan(transformed.task, CORES)
+        print(
+            f"{100 * share:>9.0f}%  {sized.offloaded_wcet:>7.1f}  {hom:>8.1f}  "
+            f"{het:>8.1f}  {sim_original:>8.1f}  {sim_transformed:>13.1f}"
+        )
+    print()
+    print("Reading: the heterogeneous bound (and the transformed schedule) improve")
+    print("steadily with the offloaded share, while the homogeneous bound keeps")
+    print("charging the offloaded work as host interference.")
+
+
+def part2_extensions(task: DagTask) -> None:
+    print()
+    print("Part 2: two offloaded kernels (fft + beamform)")
+    print("-" * 64)
+    multi = MultiOffloadTask.from_task(task, extra_offloaded={"fft"})
+    plain = DagTask(graph=multi.graph, offloaded_node=None, name=task.name)
+
+    eq1 = homogeneous_response_time(plain, CORES).bound
+    safe = multi_offload_response_time(multi, CORES).bound
+    simulated = simulate_multi_offload(multi, CORES).makespan()
+    print(f"offloaded volume                  = {multi.device_volume():g} "
+          f"of {multi.volume:g} total")
+    print(f"Equation 1 (all nodes on host)    = {eq1:.1f}")
+    print(f"simulated makespan (1 device)     = {simulated:.1f}")
+    print(f"sound multi-offload bound         = {safe:.1f}")
+    if simulated > eq1:
+        print("NOTE: the simulation exceeds Equation 1 -- with several kernels")
+        print("      sharing one device the classical bound is NOT safe, which is")
+        print("      why the extension derives its own bound.")
+
+    print()
+    print("Part 2b: the same two kernels on two devices (GPU + FPGA)")
+    print("-" * 64)
+    spread = balance_devices(
+        task, offloaded_nodes=["fft", "beamform"], device_count=2
+    )
+    bound = multi_device_response_time(spread, CORES).bound
+    simulated_two = simulate_multi_device(spread, CORES).makespan()
+    print(f"device assignment                 = {spread.device_assignment}")
+    print(f"simulated makespan (2 devices)    = {simulated_two:.1f}")
+    print(f"sound multi-device bound          = {bound:.1f}")
+    print()
+    print(f"Using a second device shaves {simulated - simulated_two:.1f} time units off")
+    print("the simulated makespan; tightening the analytical bound for that case is")
+    print("exactly the future work the paper announces.")
+
+
+def main() -> None:
+    task = build_application()
+    print("=" * 72)
+    print(f"Application {task.name!r}: vol = {task.volume:g}, "
+          f"len = {task.critical_path_length:g}, default kernel = 'beamform'")
+    print("=" * 72)
+    part1_offload_sizing(task)
+    part2_extensions(task)
+
+
+if __name__ == "__main__":
+    main()

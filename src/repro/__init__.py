@@ -1,0 +1,78 @@
+"""repro -- Response-time analysis of DAG tasks supporting heterogeneous computing.
+
+Reproduction of M. A. Serrano and E. Quinones, DAC 2018.
+
+The most frequently used names are re-exported at the package root::
+
+    from repro import DagTask, transform, heterogeneous_response_time
+
+See :mod:`repro.core`, :mod:`repro.analysis`, :mod:`repro.generator`,
+:mod:`repro.simulation`, :mod:`repro.ilp`, :mod:`repro.experiments`,
+:mod:`repro.extensions` and :mod:`repro.io` for the full API.
+"""
+
+from .analysis import (
+    ResponseTimeResult,
+    Scenario,
+    classify_scenario,
+    compare,
+    heterogeneous_response_time,
+    homogeneous_response_time,
+    naive_unsafe_response_time,
+    percentage_change,
+)
+from .core import (
+    DagTask,
+    DirectedAcyclicGraph,
+    TaskSet,
+    TransformedTask,
+    figure1_task,
+    figure3_task,
+    normalise_task,
+    transform,
+    validate_task,
+)
+from .generator import (
+    DagStructureGenerator,
+    GeneratorConfig,
+    OffloadConfig,
+    make_heterogeneous,
+    pin_offloaded_fraction,
+)
+from .simulation import BreadthFirstPolicy, Platform, simulate, simulate_makespan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DirectedAcyclicGraph",
+    "DagTask",
+    "TaskSet",
+    "TransformedTask",
+    "transform",
+    "validate_task",
+    "normalise_task",
+    "figure1_task",
+    "figure3_task",
+    # analysis
+    "ResponseTimeResult",
+    "Scenario",
+    "homogeneous_response_time",
+    "heterogeneous_response_time",
+    "naive_unsafe_response_time",
+    "classify_scenario",
+    "compare",
+    "percentage_change",
+    # generation
+    "GeneratorConfig",
+    "OffloadConfig",
+    "DagStructureGenerator",
+    "make_heterogeneous",
+    "pin_offloaded_fraction",
+    # simulation
+    "Platform",
+    "simulate",
+    "simulate_makespan",
+    "BreadthFirstPolicy",
+]

@@ -1,0 +1,160 @@
+"""Comparison helpers between analyses (used throughout Section 5).
+
+The paper's evaluation never reports absolute response times; it reports
+*relative* quantities:
+
+* the *percentage change* between two measurements of the same variable
+  (Figures 6 and 9), and
+* the *increment* of an upper bound over a reference makespan (Figure 7).
+
+This module centralises those definitions so that every experiment and test
+uses exactly the same arithmetic, together with a convenience
+:class:`AnalysisComparison` that evaluates a single task under both the
+homogeneous and the heterogeneous analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.task import DagTask
+from ..core.transformation import TransformedTask, transform
+from .heterogeneous import naive_unsafe_response_time
+from .heterogeneous import response_time as heterogeneous_response_time
+from .homogeneous import response_time as homogeneous_response_time
+from .results import ResponseTimeResult, Scenario
+
+__all__ = [
+    "percentage_change",
+    "percentage_increment",
+    "AnalysisComparison",
+    "compare",
+]
+
+
+def percentage_change(value: float, reference: float) -> float:
+    """Relative change of ``value`` with respect to ``reference`` in percent.
+
+    ``percentage_change(a, b) = 100 * (a - b) / b``.  This is the quantity
+    plotted in Figures 6 and 9 of the paper ("percentage change of X w.r.t.
+    Y").  A positive result means ``value`` is larger (slower / more
+    pessimistic) than the reference.
+
+    A zero reference with a zero value yields ``0``; a zero reference with a
+    non-zero value raises :class:`ZeroDivisionError` because the percentage
+    change is undefined in that case.
+    """
+    if reference == 0:
+        if value == 0:
+            return 0.0
+        raise ZeroDivisionError("percentage change w.r.t. a zero reference is undefined")
+    return 100.0 * (value - reference) / reference
+
+
+def percentage_increment(bound: float, reference: float) -> float:
+    """Increment of an upper ``bound`` over a ``reference`` in percent.
+
+    Used by Figure 7: "increment of R w.r.t. the minimum makespan".  It is
+    numerically identical to :func:`percentage_change`; the separate name
+    documents the intent (the bound is expected to be >= the reference).
+    """
+    return percentage_change(bound, reference)
+
+
+@dataclass
+class AnalysisComparison:
+    """Homogeneous vs heterogeneous analysis of a single task.
+
+    Attributes
+    ----------
+    task:
+        The analysed (original, untransformed) task.
+    transformed:
+        The transformation produced by Algorithm 1.
+    cores:
+        Number of host cores ``m``.
+    homogeneous:
+        ``R_hom(tau)`` (Equation 1) of the *original* task.
+    heterogeneous:
+        ``R_het(tau')`` (Theorem 1) of the *transformed* task.
+    naive:
+        The unsafe bound of Section 3.2, for reference only.
+    """
+
+    task: DagTask
+    transformed: TransformedTask
+    cores: int
+    homogeneous: ResponseTimeResult
+    heterogeneous: ResponseTimeResult
+    naive: ResponseTimeResult
+
+    @property
+    def scenario(self) -> Scenario:
+        """The Theorem 1 scenario that applied to the heterogeneous bound."""
+        return self.heterogeneous.scenario
+
+    def gain_percent(self) -> float:
+        """Percentage change of ``R_hom`` with respect to ``R_het``.
+
+        This is exactly the quantity of Figure 9; positive values mean the
+        heterogeneous analysis is tighter.
+        """
+        return percentage_change(self.homogeneous.bound, self.heterogeneous.bound)
+
+    def heterogeneous_is_tighter(self) -> bool:
+        """``True`` when ``R_het(tau') < R_hom(tau)``."""
+        return self.heterogeneous.bound < self.homogeneous.bound
+
+    def offloaded_fraction(self) -> float:
+        """``C_off / vol(G)`` of the analysed task."""
+        return self.task.offloaded_fraction()
+
+    def summary(self) -> dict[str, float]:
+        """Return the comparison as a flat dictionary (for CSV/table export)."""
+        return {
+            "m": float(self.cores),
+            "n": float(self.task.node_count),
+            "vol": float(self.task.volume),
+            "len": float(self.task.critical_path_length),
+            "C_off": float(self.task.offloaded_wcet),
+            "C_off_fraction": float(self.offloaded_fraction()),
+            "R_hom": float(self.homogeneous.bound),
+            "R_het": float(self.heterogeneous.bound),
+            "R_naive": float(self.naive.bound),
+            "gain_percent": float(self.gain_percent()),
+            "scenario": {
+                Scenario.SCENARIO_1: 1.0,
+                Scenario.SCENARIO_2_1: 2.1,
+                Scenario.SCENARIO_2_2: 2.2,
+            }.get(self.scenario, 0.0),
+        }
+
+
+def compare(
+    task: DagTask,
+    cores: int,
+    transformed: Optional[TransformedTask] = None,
+) -> AnalysisComparison:
+    """Evaluate a heterogeneous task under both analyses.
+
+    Parameters
+    ----------
+    task:
+        The heterogeneous task ``tau``.
+    cores:
+        Number of host cores ``m``.
+    transformed:
+        Optional pre-computed transformation (avoids re-running Algorithm 1
+        when comparing the same task for several core counts).
+    """
+    if transformed is None:
+        transformed = transform(task)
+    return AnalysisComparison(
+        task=task,
+        transformed=transformed,
+        cores=cores,
+        homogeneous=homogeneous_response_time(task, cores),
+        heterogeneous=heterogeneous_response_time(transformed, cores),
+        naive=naive_unsafe_response_time(task, cores),
+    )

@@ -1,0 +1,112 @@
+"""Result containers shared by every response-time analysis.
+
+All analyses in :mod:`repro.analysis` return a :class:`ResponseTimeResult`
+rather than a bare number.  The result records the bound itself, which
+analysis produced it, which execution scenario of Theorem 1 applied (when
+relevant) and every intermediate quantity (critical-path length, volume,
+interference term, ...).  Experiments and tests rely on those intermediate
+terms, and carrying them around makes the analytical pipeline fully
+introspectable -- a property the original MATLAB scripts of the paper lacked.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Scenario", "ResponseTimeResult"]
+
+
+class Scenario(enum.Enum):
+    """Execution scenarios distinguished by Theorem 1 of the paper.
+
+    The scenario determines which of Equations 2-4 provides the response-time
+    upper bound of the transformed task ``tau'``.
+    """
+
+    #: ``v_off`` does not belong to the critical path of ``G'`` (Eq. 2).
+    SCENARIO_1 = "scenario-1"
+    #: ``v_off`` belongs to the critical path and ``C_off >= R_hom(G_par)``
+    #: (Eq. 3).
+    SCENARIO_2_1 = "scenario-2.1"
+    #: ``v_off`` belongs to the critical path and ``C_off <= R_hom(G_par)``
+    #: (Eq. 4).
+    SCENARIO_2_2 = "scenario-2.2"
+    #: Not applicable -- e.g. the homogeneous analysis of Eq. 1.
+    NOT_APPLICABLE = "n/a"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ResponseTimeResult:
+    """Outcome of a response-time analysis.
+
+    Attributes
+    ----------
+    bound:
+        The response-time upper bound ``R``.
+    method:
+        Short identifier of the analysis that produced the bound, e.g.
+        ``"hom"`` (Eq. 1), ``"het"`` (Theorem 1) or ``"naive"`` (the unsafe
+        bound discussed in Section 3.2).
+    scenario:
+        The Theorem 1 scenario that applied, or
+        :attr:`Scenario.NOT_APPLICABLE`.
+    cores:
+        The number of host cores ``m`` the bound was computed for.
+    task_name:
+        Name of the analysed task, for reporting purposes.
+    terms:
+        Every intermediate quantity used to compute the bound (``len``,
+        ``vol``, ``C_off``, ``vol(G_par)``, interference, ...).
+    """
+
+    bound: float
+    method: str
+    scenario: Scenario = Scenario.NOT_APPLICABLE
+    cores: int = 1
+    task_name: str = "tau"
+    terms: dict[str, float] = field(default_factory=dict)
+
+    def meets_deadline(self, deadline: Optional[float]) -> bool:
+        """Return ``True`` when the bound does not exceed ``deadline``.
+
+        A ``None`` deadline is interpreted as "no deadline", i.e. always met.
+        """
+        if deadline is None:
+            return True
+        return self.bound <= deadline
+
+    def interference(self) -> float:
+        """The self-interference term of the bound (``0`` if not recorded)."""
+        return self.terms.get("interference", 0.0)
+
+    def describe(self) -> str:
+        """Return a one-line human readable description of the result."""
+        pieces = [
+            f"{self.method} bound for {self.task_name!r} on m={self.cores}: "
+            f"{self.bound:g}"
+        ]
+        if self.scenario is not Scenario.NOT_APPLICABLE:
+            pieces.append(f"[{self.scenario.value}]")
+        return " ".join(pieces)
+
+    def __float__(self) -> float:
+        return float(self.bound)
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, ResponseTimeResult):
+            return self.bound < other.bound
+        if isinstance(other, (int, float)):
+            return self.bound < other
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, ResponseTimeResult):
+            return self.bound <= other.bound
+        if isinstance(other, (int, float)):
+            return self.bound <= other
+        return NotImplemented

@@ -1,0 +1,68 @@
+"""Core DAG task model and transformation (the paper's Sections 2 and 3).
+
+This subpackage contains everything that is independent of a particular
+analysis or scheduler:
+
+* :mod:`repro.core.graph` -- the weighted DAG substrate;
+* :mod:`repro.core.task` -- the sporadic heterogeneous DAG task model;
+* :mod:`repro.core.validation` -- system-model assumption checks;
+* :mod:`repro.core.transformation` -- Algorithm 1 (the ``v_sync`` insertion);
+* :mod:`repro.core.examples` -- the worked examples of the paper.
+"""
+
+from .exceptions import (
+    AnalysisError,
+    CycleError,
+    DuplicateNodeError,
+    EdgeError,
+    GenerationError,
+    GraphError,
+    NodeNotFoundError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+    SolverError,
+    TransformationError,
+    ValidationError,
+)
+from .examples import figure1_task, figure2_expected_edges, figure3_task
+from .graph import DirectedAcyclicGraph, NodeId
+from .task import OFFLOADED_NODE_DEFAULT_ID, DagTask, TaskSet
+from .transformation import SYNC_NODE_DEFAULT_ID, TransformedTask, transform
+from .validation import ValidationReport, normalise_task, validate_graph, validate_task
+
+__all__ = [
+    # graph / task model
+    "DirectedAcyclicGraph",
+    "NodeId",
+    "DagTask",
+    "TaskSet",
+    "OFFLOADED_NODE_DEFAULT_ID",
+    # transformation
+    "transform",
+    "TransformedTask",
+    "SYNC_NODE_DEFAULT_ID",
+    # validation
+    "validate_graph",
+    "validate_task",
+    "normalise_task",
+    "ValidationReport",
+    # worked examples
+    "figure1_task",
+    "figure2_expected_edges",
+    "figure3_task",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "EdgeError",
+    "ValidationError",
+    "TransformationError",
+    "AnalysisError",
+    "GenerationError",
+    "SimulationError",
+    "SolverError",
+    "SerializationError",
+]

@@ -1,0 +1,105 @@
+"""Exception hierarchy used across the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every error raised by the package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "NodeNotFoundError",
+    "DuplicateNodeError",
+    "EdgeError",
+    "ValidationError",
+    "TransformationError",
+    "AnalysisError",
+    "GenerationError",
+    "SimulationError",
+    "SolverError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to DAG construction and manipulation."""
+
+
+class CycleError(GraphError):
+    """Raised when an operation requires an acyclic graph but a cycle exists.
+
+    The offending cycle (a list of node identifiers) is stored in
+    :attr:`cycle` when it is known, which makes debugging generated task sets
+    considerably easier.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle is not None else None
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when a node identifier is not present in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} is not part of the graph")
+        self.node_id = node_id
+
+
+class DuplicateNodeError(GraphError, ValueError):
+    """Raised when adding a node whose identifier already exists."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} already exists in the graph")
+        self.node_id = node_id
+
+
+class EdgeError(GraphError, ValueError):
+    """Raised for invalid edge operations (self loops, duplicates, ...)."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when a task or graph violates a model assumption.
+
+    The system model of the paper makes several structural assumptions
+    (single source, single sink, no transitive edges, a single offloaded
+    node).  :class:`ValidationError` carries a list of human readable
+    problems so all violations can be reported at once.
+    """
+
+    def __init__(self, problems: list[str] | str) -> None:
+        if isinstance(problems, str):
+            problems = [problems]
+        self.problems = list(problems)
+        super().__init__("; ".join(self.problems))
+
+
+class TransformationError(ReproError):
+    """Raised when the DAG transformation (Algorithm 1) cannot be applied."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a response-time analysis receives an unsupported input."""
+
+
+class GenerationError(ReproError):
+    """Raised when the random DAG generator cannot satisfy its constraints."""
+
+
+class SimulationError(ReproError):
+    """Raised when the scheduling simulator reaches an inconsistent state."""
+
+
+class SolverError(ReproError):
+    """Raised when the ILP / branch-and-bound makespan solvers fail."""
+
+
+class SerializationError(ReproError):
+    """Raised when (de)serialising tasks to/from JSON or DOT fails."""

@@ -1,0 +1,599 @@
+"""Directed acyclic graph substrate used by the whole library.
+
+The paper models a parallel real-time task as a DAG ``G = (V, E)`` whose
+nodes carry a worst-case execution time (WCET) and whose edges encode
+precedence constraints.  This module provides a small, dependency-free DAG
+implementation with exactly the operations required by the analysis:
+
+* structural manipulation (add/remove nodes and edges, copies, subgraphs),
+* reachability (``Pred``/``Succ`` sets of the paper),
+* the two key DAG metrics ``vol(G)`` (total WCET) and ``len(G)`` (length of
+  the critical path, i.e. the longest weighted path),
+* helpers used by Algorithm 1 and by Theorem 1 (direct predecessors, longest
+  path through a given node, transitive-edge detection and reduction).
+
+The implementation intentionally avoids :mod:`networkx` so that every
+algorithmic step of the reproduction is explicit; networkx is only used as an
+independent oracle in the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from .exceptions import (
+    CycleError,
+    DuplicateNodeError,
+    EdgeError,
+    NodeNotFoundError,
+)
+
+__all__ = ["NodeId", "DirectedAcyclicGraph"]
+
+#: Type alias for node identifiers.  Any hashable value may be used; the
+#: library itself uses short strings such as ``"v1"`` or ``"v_off"``.
+NodeId = Hashable
+
+
+class DirectedAcyclicGraph:
+    """A weighted directed acyclic graph.
+
+    Nodes are identified by arbitrary hashable values and carry a
+    non-negative weight, interpreted throughout the library as the node's
+    WCET.  Edges are ordered pairs ``(src, dst)`` meaning that ``src`` must
+    complete before ``dst`` may start.
+
+    The class maintains adjacency in both directions so that predecessor and
+    successor queries are O(out-degree)/O(in-degree).  Acyclicity is *not*
+    enforced on every mutation (generators build graphs incrementally); call
+    :meth:`check_acyclic` or :meth:`topological_order` to verify it.
+
+    Examples
+    --------
+    >>> g = DirectedAcyclicGraph()
+    >>> g.add_node("a", wcet=2)
+    >>> g.add_node("b", wcet=3)
+    >>> g.add_edge("a", "b")
+    >>> g.volume()
+    5
+    >>> g.critical_path_length()
+    5
+    """
+
+    def __init__(self) -> None:
+        self._wcet: dict[NodeId, float] = {}
+        self._succ: dict[NodeId, set[NodeId]] = {}
+        self._pred: dict[NodeId, set[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        wcets: Mapping[NodeId, float],
+        edges: Iterable[tuple[NodeId, NodeId]] = (),
+    ) -> "DirectedAcyclicGraph":
+        """Build a graph from a mapping of WCETs and an iterable of edges.
+
+        Parameters
+        ----------
+        wcets:
+            Mapping from node identifier to WCET.
+        edges:
+            Iterable of ``(src, dst)`` pairs.  Both endpoints must appear in
+            ``wcets``.
+        """
+        graph = cls()
+        for node_id, wcet in wcets.items():
+            graph.add_node(node_id, wcet)
+        for src, dst in edges:
+            graph.add_edge(src, dst)
+        return graph
+
+    def copy(self) -> "DirectedAcyclicGraph":
+        """Return a deep (structural) copy of the graph."""
+        clone = DirectedAcyclicGraph()
+        clone._wcet = dict(self._wcet)
+        clone._succ = {node: set(nbrs) for node, nbrs in self._succ.items()}
+        clone._pred = {node: set(nbrs) for node, nbrs in self._pred.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, wcet: float = 0) -> None:
+        """Add a node with the given WCET.
+
+        Raises
+        ------
+        DuplicateNodeError
+            If the node already exists.
+        ValueError
+            If the WCET is negative.
+        """
+        if node_id in self._wcet:
+            raise DuplicateNodeError(node_id)
+        if wcet < 0:
+            raise ValueError(f"WCET of node {node_id!r} must be >= 0, got {wcet}")
+        self._wcet[node_id] = wcet
+        self._succ[node_id] = set()
+        self._pred[node_id] = set()
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node together with all its incident edges."""
+        self._require(node_id)
+        for succ in list(self._succ[node_id]):
+            self._pred[succ].discard(node_id)
+        for pred in list(self._pred[node_id]):
+            self._succ[pred].discard(node_id)
+        del self._succ[node_id]
+        del self._pred[node_id]
+        del self._wcet[node_id]
+
+    def add_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Add the precedence edge ``src -> dst``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If either endpoint does not exist.
+        EdgeError
+            If the edge is a self loop or already present.
+        """
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            raise EdgeError(f"self loop on node {src!r} is not allowed")
+        if dst in self._succ[src]:
+            raise EdgeError(f"edge ({src!r}, {dst!r}) already exists")
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_edge(self, src: NodeId, dst: NodeId) -> None:
+        """Remove the edge ``src -> dst``."""
+        self._require(src)
+        self._require(dst)
+        if dst not in self._succ[src]:
+            raise EdgeError(f"edge ({src!r}, {dst!r}) does not exist")
+        self._succ[src].discard(dst)
+        self._pred[dst].discard(src)
+
+    def set_wcet(self, node_id: NodeId, wcet: float) -> None:
+        """Update the WCET of an existing node."""
+        self._require(node_id)
+        if wcet < 0:
+            raise ValueError(f"WCET of node {node_id!r} must be >= 0, got {wcet}")
+        self._wcet[node_id] = wcet
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def _require(self, node_id: NodeId) -> None:
+        if node_id not in self._wcet:
+            raise NodeNotFoundError(node_id)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._wcet
+
+    def __len__(self) -> int:
+        return len(self._wcet)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._wcet)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._wcet)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges in the graph."""
+        return sum(len(nbrs) for nbrs in self._succ.values())
+
+    def nodes(self) -> list[NodeId]:
+        """Return the node identifiers in insertion order."""
+        return list(self._wcet)
+
+    def edges(self) -> list[tuple[NodeId, NodeId]]:
+        """Return all edges as ``(src, dst)`` pairs."""
+        return [
+            (src, dst) for src in self._wcet for dst in sorted(self._succ[src], key=repr)
+        ]
+
+    def wcet(self, node_id: NodeId) -> float:
+        """Return the WCET of a node."""
+        self._require(node_id)
+        return self._wcet[node_id]
+
+    def wcets(self) -> dict[NodeId, float]:
+        """Return a copy of the ``node -> WCET`` mapping."""
+        return dict(self._wcet)
+
+    def has_edge(self, src: NodeId, dst: NodeId) -> bool:
+        """Return ``True`` if the edge ``src -> dst`` exists."""
+        return src in self._succ and dst in self._succ[src]
+
+    def successors(self, node_id: NodeId) -> set[NodeId]:
+        """Direct successors of a node (nodes ``v`` with an edge ``node -> v``)."""
+        self._require(node_id)
+        return set(self._succ[node_id])
+
+    def predecessors(self, node_id: NodeId) -> set[NodeId]:
+        """Direct predecessors of a node (nodes ``v`` with an edge ``v -> node``)."""
+        self._require(node_id)
+        return set(self._pred[node_id])
+
+    def out_degree(self, node_id: NodeId) -> int:
+        """Number of outgoing edges of a node."""
+        self._require(node_id)
+        return len(self._succ[node_id])
+
+    def in_degree(self, node_id: NodeId) -> int:
+        """Number of incoming edges of a node."""
+        self._require(node_id)
+        return len(self._pred[node_id])
+
+    def sources(self) -> list[NodeId]:
+        """Nodes without incoming edges, in insertion order."""
+        return [node for node in self._wcet if not self._pred[node]]
+
+    def sinks(self) -> list[NodeId]:
+        """Nodes without outgoing edges, in insertion order."""
+        return [node for node in self._wcet if not self._succ[node]]
+
+    # ------------------------------------------------------------------
+    # Ordering and reachability
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[NodeId]:
+        """Return a topological ordering of the nodes (Kahn's algorithm).
+
+        Ties are broken by node insertion order, which makes the ordering --
+        and everything derived from it, such as the breadth-first scheduler --
+        deterministic.
+
+        Raises
+        ------
+        CycleError
+            If the graph contains a cycle.
+        """
+        in_degree = {node: len(self._pred[node]) for node in self._wcet}
+        order_index = {node: index for index, node in enumerate(self._wcet)}
+        ready = deque(node for node in self._wcet if in_degree[node] == 0)
+        order: list[NodeId] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            newly_ready = []
+            for succ in self._succ[node]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    newly_ready.append(succ)
+            newly_ready.sort(key=order_index.__getitem__)
+            ready.extend(newly_ready)
+        if len(order) != len(self._wcet):
+            raise CycleError(
+                "graph contains a cycle", cycle=self.find_cycle()
+            )
+        return order
+
+    def is_acyclic(self) -> bool:
+        """Return ``True`` if the graph contains no directed cycle."""
+        try:
+            self.topological_order()
+        except CycleError:
+            return False
+        return True
+
+    def check_acyclic(self) -> None:
+        """Raise :class:`CycleError` if the graph contains a cycle."""
+        self.topological_order()
+
+    def find_cycle(self) -> Optional[list[NodeId]]:
+        """Return one directed cycle as a list of nodes, or ``None``.
+
+        The returned list contains the nodes of the cycle in order; the edge
+        from the last element back to the first closes the cycle.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self._wcet}
+        parent: dict[NodeId, NodeId] = {}
+
+        for start in self._wcet:
+            if colour[start] != WHITE:
+                continue
+            stack: list[tuple[NodeId, Iterator[NodeId]]] = [
+                (start, iter(sorted(self._succ[start], key=repr)))
+            ]
+            colour[start] = GREY
+            while stack:
+                node, neighbours = stack[-1]
+                advanced = False
+                for succ in neighbours:
+                    if colour[succ] == WHITE:
+                        colour[succ] = GREY
+                        parent[succ] = node
+                        stack.append((succ, iter(sorted(self._succ[succ], key=repr))))
+                        advanced = True
+                        break
+                    if colour[succ] == GREY:
+                        cycle = [succ]
+                        cursor = node
+                        while cursor != succ:
+                            cycle.append(cursor)
+                            cursor = parent[cursor]
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def descendants(self, node_id: NodeId) -> set[NodeId]:
+        """All nodes reachable from ``node_id`` (``Succ(v)`` in the paper).
+
+        The node itself is *not* included.
+        """
+        self._require(node_id)
+        return self._reach(node_id, self._succ)
+
+    def ancestors(self, node_id: NodeId) -> set[NodeId]:
+        """All nodes from which ``node_id`` is reachable (``Pred(v)``).
+
+        The node itself is *not* included.
+        """
+        self._require(node_id)
+        return self._reach(node_id, self._pred)
+
+    def _reach(
+        self, start: NodeId, adjacency: Mapping[NodeId, set[NodeId]]
+    ) -> set[NodeId]:
+        seen: set[NodeId] = set()
+        frontier = deque(adjacency[start])
+        while frontier:
+            node = frontier.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(adjacency[node] - seen)
+        return seen
+
+    def has_path(self, src: NodeId, dst: NodeId) -> bool:
+        """Return ``True`` if there is a directed path from ``src`` to ``dst``."""
+        self._require(src)
+        self._require(dst)
+        if src == dst:
+            return True
+        return dst in self.descendants(src)
+
+    def are_parallel(self, first: NodeId, second: NodeId) -> bool:
+        """Return ``True`` when neither node can reach the other.
+
+        Two parallel (a.k.a. independent or concurrent) nodes may execute at
+        the same time; this is exactly the notion used to build ``G_par``.
+        """
+        if first == second:
+            return False
+        return not self.has_path(first, second) and not self.has_path(second, first)
+
+    # ------------------------------------------------------------------
+    # DAG metrics: volume and critical path
+    # ------------------------------------------------------------------
+    def volume(self) -> float:
+        """``vol(G)``: the sum of the WCETs of all nodes.
+
+        In the paper's system model the volume is the WCET of the task when
+        executed entirely sequentially.
+        """
+        return sum(self._wcet.values())
+
+    def critical_path_length(self) -> float:
+        """``len(G)``: the length of the longest weighted path.
+
+        Node weights (WCETs) are summed along the path; edge weights do not
+        exist in this model.  For the empty graph the length is ``0``.
+        """
+        if not self._wcet:
+            return 0
+        finish = self.earliest_finish_times()
+        return max(finish.values())
+
+    def critical_path(self) -> list[NodeId]:
+        """Return one critical (longest) path as an ordered list of nodes.
+
+        Ties are broken deterministically by node insertion order so the
+        returned path is stable across runs.
+        """
+        if not self._wcet:
+            return []
+        order = self.topological_order()
+        order_index = {node: index for index, node in enumerate(self._wcet)}
+        finish: dict[NodeId, float] = {}
+        best_pred: dict[NodeId, Optional[NodeId]] = {}
+        for node in order:
+            candidates = sorted(self._pred[node], key=order_index.__getitem__)
+            best: Optional[NodeId] = None
+            best_finish = 0.0
+            for pred in candidates:
+                if finish[pred] > best_finish:
+                    best_finish = finish[pred]
+                    best = pred
+            finish[node] = best_finish + self._wcet[node]
+            best_pred[node] = best
+        end = max(order, key=lambda node: (finish[node], -order_index[node]))
+        path = [end]
+        cursor = best_pred[end]
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        path.reverse()
+        return path
+
+    def earliest_finish_times(self) -> dict[NodeId, float]:
+        """Length of the longest path *ending* at each node (inclusive).
+
+        Equivalently, the earliest time each node can complete on an
+        infinitely parallel machine.  Used both by the critical-path
+        computation and by the simulator's sanity checks.
+        """
+        finish: dict[NodeId, float] = {}
+        for node in self.topological_order():
+            longest_pred = max((finish[p] for p in self._pred[node]), default=0)
+            finish[node] = longest_pred + self._wcet[node]
+        return finish
+
+    def longest_tail_lengths(self) -> dict[NodeId, float]:
+        """Length of the longest path *starting* at each node (inclusive).
+
+        This is the classical "bottom level" used by critical-path-first list
+        scheduling heuristics.
+        """
+        tail: dict[NodeId, float] = {}
+        for node in reversed(self.topological_order()):
+            longest_succ = max((tail[s] for s in self._succ[node]), default=0)
+            tail[node] = longest_succ + self._wcet[node]
+        return tail
+
+    def longest_path_through(self, node_id: NodeId) -> float:
+        """Length of the longest path constrained to pass through ``node_id``.
+
+        Computed as ``top_level(node) + bottom_level(node) - C(node)`` so that
+        the node's own WCET is only counted once.  Theorem 1 of the paper uses
+        this quantity to decide whether the offloaded node belongs to a
+        critical path of the transformed DAG.
+        """
+        self._require(node_id)
+        finish = self.earliest_finish_times()
+        tail = self.longest_tail_lengths()
+        return finish[node_id] + tail[node_id] - self._wcet[node_id]
+
+    def lies_on_critical_path(self, node_id: NodeId, relative_tolerance: float = 1e-9) -> bool:
+        """Return ``True`` when ``node_id`` belongs to *some* critical path.
+
+        With floating-point WCETs the two longest-path computations can differ
+        by a few ULPs even for mathematically equal values; ties are resolved
+        *towards* the critical path (within ``relative_tolerance``), which is
+        the conservative direction for the heterogeneous analysis (Scenario 1
+        may only be used when the offloaded node is strictly off the critical
+        path).
+        """
+        length = self.critical_path_length()
+        tolerance = relative_tolerance * max(1.0, abs(length))
+        return self.longest_path_through(node_id) >= length - tolerance
+
+    # ------------------------------------------------------------------
+    # Transitive edges
+    # ------------------------------------------------------------------
+    def transitive_edges(self) -> list[tuple[NodeId, NodeId]]:
+        """Return every edge ``(u, v)`` that is implied by a longer path.
+
+        The paper's system model assumes transitive edges do not exist; the
+        transformation algorithm relies on this assumption.  This helper lets
+        validators detect violations and :meth:`transitive_reduction` remove
+        them.
+        """
+        redundant: list[tuple[NodeId, NodeId]] = []
+        for src in self._wcet:
+            direct = self._succ[src]
+            if len(direct) < 2:
+                continue
+            # A direct edge (src, dst) is transitive iff dst is reachable from
+            # one of src's *other* direct successors.
+            reachable_via_others: set[NodeId] = set()
+            for mid in direct:
+                reachable_via_others |= self.descendants(mid)
+            for dst in direct:
+                if dst in reachable_via_others:
+                    redundant.append((src, dst))
+        return redundant
+
+    def transitive_reduction(self) -> "DirectedAcyclicGraph":
+        """Return a copy of the graph with all transitive edges removed."""
+        reduced = self.copy()
+        for src, dst in self.transitive_edges():
+            if reduced.has_edge(src, dst):
+                reduced.remove_edge(src, dst)
+        return reduced
+
+    def transitive_closure(self) -> dict[NodeId, set[NodeId]]:
+        """Return the full reachability relation ``node -> descendants``."""
+        return {node: self.descendants(node) for node in self._wcet}
+
+    # ------------------------------------------------------------------
+    # Subgraphs and structural edits used by Algorithm 1
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[NodeId]) -> "DirectedAcyclicGraph":
+        """Return the subgraph induced by ``nodes`` (WCETs preserved)."""
+        selected = set(nodes)
+        for node in selected:
+            self._require(node)
+        sub = DirectedAcyclicGraph()
+        for node in self._wcet:
+            if node in selected:
+                sub.add_node(node, self._wcet[node])
+        for src in self._wcet:
+            if src not in selected:
+                continue
+            for dst in self._succ[src]:
+                if dst in selected:
+                    sub.add_edge(src, dst)
+        return sub
+
+    def relabelled(self, mapping: Mapping[NodeId, NodeId]) -> "DirectedAcyclicGraph":
+        """Return a copy with node identifiers renamed according to ``mapping``.
+
+        Identifiers absent from ``mapping`` are kept unchanged.  The mapping
+        must not merge two distinct nodes into one.
+        """
+        new_ids = [mapping.get(node, node) for node in self._wcet]
+        if len(set(new_ids)) != len(new_ids):
+            raise EdgeError("relabelling would merge distinct nodes")
+        renamed = DirectedAcyclicGraph()
+        for node in self._wcet:
+            renamed.add_node(mapping.get(node, node), self._wcet[node])
+        for src in self._wcet:
+            for dst in self._succ[src]:
+                renamed.add_edge(mapping.get(src, src), mapping.get(dst, dst))
+        return renamed
+
+    def with_unique_source_and_sink(
+        self,
+        source_id: NodeId = "__source__",
+        sink_id: NodeId = "__sink__",
+    ) -> "DirectedAcyclicGraph":
+        """Return a copy that has exactly one source and one sink.
+
+        If the graph already has a single source (resp. sink) nothing is
+        added; otherwise a zero-WCET dummy node is inserted, exactly as the
+        system model of the paper prescribes.
+        """
+        result = self.copy()
+        sources = result.sources()
+        if len(sources) != 1:
+            result.add_node(source_id, 0)
+            for node in sources:
+                result.add_edge(source_id, node)
+        sinks = [node for node in result.sinks() if node != source_id]
+        if len(sinks) != 1:
+            result.add_node(sink_id, 0)
+            for node in sinks:
+                result.add_edge(node, sink_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedAcyclicGraph):
+            return NotImplemented
+        return self._wcet == other._wcet and self._succ == other._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DirectedAcyclicGraph(nodes={self.node_count}, "
+            f"edges={self.edge_count}, vol={self.volume()}, "
+            f"len={self.critical_path_length()})"
+        )

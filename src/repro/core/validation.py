@@ -1,0 +1,172 @@
+"""Validation of the structural assumptions of the paper's system model.
+
+The DAC'18 system model (Section 2 of the paper) makes the following
+assumptions about a task ``tau = <G, T, D>``:
+
+1. ``G`` is a directed *acyclic* graph.
+2. ``G`` has exactly one source and one sink node (a dummy zero-WCET node can
+   always be added to enforce this).
+3. Transitive edges do not exist: if ``(v1, v2)`` and ``(v2, v3)`` are edges
+   then ``(v1, v3)`` is not.  Algorithm 1 explicitly relies on this.
+4. There is at most one offloaded node, and its WCET is non-negative.
+5. The relative deadline is constrained: ``D <= T``.
+
+:func:`validate_task` checks every assumption and either returns the list of
+violations or raises :class:`~repro.core.exceptions.ValidationError`.
+:func:`normalise_task` repairs the repairable violations (missing dummy
+source/sink, transitive edges) and returns a compliant copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .exceptions import ValidationError
+from .graph import DirectedAcyclicGraph
+from .task import DagTask
+
+__all__ = ["ValidationReport", "validate_graph", "validate_task", "normalise_task"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass.
+
+    Attributes
+    ----------
+    problems:
+        Human-readable descriptions of every violated assumption.  The report
+        is truthy when the model is valid (no problems).
+    """
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` when no assumption is violated."""
+        return not self.problems
+
+    def __bool__(self) -> bool:
+        return self.is_valid
+
+    def add(self, problem: str) -> None:
+        """Record one violation."""
+        self.problems.append(problem)
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`ValidationError` when at least one problem exists."""
+        if self.problems:
+            raise ValidationError(self.problems)
+
+
+def validate_graph(
+    graph: DirectedAcyclicGraph,
+    require_single_source: bool = True,
+    require_single_sink: bool = True,
+    forbid_transitive_edges: bool = True,
+) -> ValidationReport:
+    """Check the structural assumptions on a DAG.
+
+    Parameters
+    ----------
+    graph:
+        The graph to check.
+    require_single_source, require_single_sink:
+        Enforce the single source / single sink assumption of the system
+        model.  Sub-DAGs such as ``G_par`` legitimately have several sources
+        and sinks, hence the flags.
+    forbid_transitive_edges:
+        Enforce assumption (3) above.
+    """
+    report = ValidationReport()
+    if graph.node_count == 0:
+        report.add("graph has no nodes")
+        return report
+    if not graph.is_acyclic():
+        cycle = graph.find_cycle()
+        report.add(f"graph contains a cycle: {cycle}")
+        return report
+    if require_single_source:
+        sources = graph.sources()
+        if len(sources) != 1:
+            report.add(f"graph must have exactly one source, found {sources!r}")
+    if require_single_sink:
+        sinks = graph.sinks()
+        if len(sinks) != 1:
+            report.add(f"graph must have exactly one sink, found {sinks!r}")
+    if forbid_transitive_edges:
+        redundant = graph.transitive_edges()
+        if redundant:
+            report.add(f"graph contains transitive edges: {sorted(map(repr, redundant))}")
+    for node in graph.nodes():
+        if graph.wcet(node) < 0:
+            report.add(f"node {node!r} has a negative WCET")
+    return report
+
+
+def validate_task(task: DagTask, strict: bool = False) -> ValidationReport:
+    """Check that a task complies with the system model of the paper.
+
+    Parameters
+    ----------
+    task:
+        The task to check.
+    strict:
+        When ``True`` the function raises
+        :class:`~repro.core.exceptions.ValidationError` instead of returning
+        a report with problems.
+    """
+    report = validate_graph(task.graph)
+    if task.offloaded_node is not None:
+        if task.offloaded_node not in task.graph:
+            report.add(
+                f"offloaded node {task.offloaded_node!r} is not part of the graph"
+            )
+        elif task.graph.wcet(task.offloaded_node) < 0:
+            report.add("offloaded node has a negative WCET")
+    if task.period is not None and task.period <= 0:
+        report.add(f"period must be positive, got {task.period}")
+    if task.deadline is not None and task.deadline <= 0:
+        report.add(f"deadline must be positive, got {task.deadline}")
+    if (
+        task.period is not None
+        and task.deadline is not None
+        and task.deadline > task.period
+    ):
+        report.add(
+            f"constrained deadline violated: D={task.deadline} > T={task.period}"
+        )
+    if strict:
+        report.raise_if_invalid()
+    return report
+
+
+def normalise_task(task: DagTask) -> DagTask:
+    """Return a copy of ``task`` that satisfies the repairable assumptions.
+
+    Two classes of violations can be repaired automatically:
+
+    * multiple sources or sinks -- a dummy zero-WCET source/sink is added,
+      exactly as Section 2 of the paper describes;
+    * transitive edges -- removed by transitive reduction (removing a
+      transitive edge never changes ``vol``, ``len`` nor the reachability
+      relation, hence it does not alter any analysis result).
+
+    Violations that cannot be repaired (cycles, negative WCETs, unconstrained
+    deadlines) still raise :class:`ValidationError`.
+    """
+    graph = task.graph.copy()
+    if not graph.is_acyclic():
+        raise ValidationError(f"cannot normalise cyclic graph: {graph.find_cycle()}")
+    graph = graph.transitive_reduction()
+    graph = graph.with_unique_source_and_sink()
+    repaired = DagTask(
+        graph=graph,
+        offloaded_node=task.offloaded_node,
+        period=task.period,
+        deadline=task.deadline,
+        name=task.name,
+        metadata=dict(task.metadata),
+    )
+    validate_task(repaired, strict=True)
+    return repaired

@@ -1,0 +1,50 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.worked_example` -- Figures 1 & 2 (Sections 3.2-3.3);
+* :mod:`repro.experiments.figure6` -- impact of the transformation on average
+  performance (Section 5.2);
+* :mod:`repro.experiments.figure7` -- accuracy against the ILP optimum
+  (Section 5.3);
+* :mod:`repro.experiments.figure8` -- scenario occurrence (Section 5.4);
+* :mod:`repro.experiments.figure9` -- homogeneous vs heterogeneous bounds
+  (Section 5.4);
+* :mod:`repro.experiments.ablations` -- scheduler- and oracle-sensitivity
+  studies added by the reproduction;
+* :mod:`repro.experiments.runner` -- single entry point for all of the above;
+* :mod:`repro.experiments.tables` -- text-table / CSV rendering.
+"""
+
+from .base import ExperimentResult, ExperimentSeries
+from .config import ExperimentScale, paper_scale, quick_scale
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .figure8 import run_figure8
+from .figure9 import run_figure9
+from .ablations import run_ilp_ablation, run_scheduler_ablation
+from .runner import EXPERIMENTS, available_experiments, run_all, run_experiment
+from .tables import format_table, render_result, to_csv, write_csv
+from .worked_example import EXPECTED_VALUES, run_worked_example
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSeries",
+    "ExperimentScale",
+    "quick_scale",
+    "paper_scale",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_worked_example",
+    "EXPECTED_VALUES",
+    "run_scheduler_ablation",
+    "run_ilp_ablation",
+    "run_experiment",
+    "run_all",
+    "available_experiments",
+    "EXPERIMENTS",
+    "format_table",
+    "render_result",
+    "to_csv",
+    "write_csv",
+]

@@ -1,0 +1,166 @@
+"""Common result containers and helpers shared by every experiment driver.
+
+Each experiment module (one per paper figure) produces an
+:class:`ExperimentResult` made of named :class:`ExperimentSeries`.  A series
+is simply an x-vector (the offloaded-workload fraction in every experiment of
+the paper) and a y-vector (the metric of the figure), plus a label such as
+``"m=8"``.  Results can be rendered as fixed-width text tables
+(:mod:`repro.experiments.tables`), exported to CSV/JSON, and compared against
+the qualitative expectations recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = ["ExperimentSeries", "ExperimentResult"]
+
+
+@dataclass
+class ExperimentSeries:
+    """One curve of a figure: a label plus aligned x and y vectors."""
+
+    label: str
+    x: list[float] = field(default_factory=list)
+    y: list[float] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+
+    def append(self, x_value: float, y_value: float) -> None:
+        """Append one ``(x, y)`` point to the series."""
+        self.x.append(float(x_value))
+        self.y.append(float(y_value))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def y_at(self, x_value: float, tolerance: float = 1e-9) -> float:
+        """Return the y value recorded for a given x value."""
+        for x, y in zip(self.x, self.y):
+            if abs(x - x_value) <= tolerance:
+                return y
+        raise KeyError(f"series {self.label!r} has no point at x={x_value}")
+
+    def crossover(self) -> Optional[float]:
+        """First x value at which the series changes sign (linear interp.).
+
+        Several figures of the paper are characterised by the ``C_off``
+        fraction at which a percentage-change curve crosses zero (e.g. the
+        point where the transformed task becomes faster than the original).
+        Returns ``None`` when the series never changes sign.
+        """
+        for (x0, y0), (x1, y1) in zip(zip(self.x, self.y), zip(self.x[1:], self.y[1:])):
+            if y0 == 0:
+                return x0
+            if y0 * y1 < 0:
+                # Linear interpolation between the two samples.
+                return x0 + (x1 - x0) * (0 - y0) / (y1 - y0)
+        if self.y and self.y[-1] == 0:
+            return self.x[-1]
+        return None
+
+    def max_point(self) -> tuple[float, float]:
+        """Return ``(x, y)`` of the maximum y value."""
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        index = max(range(len(self.y)), key=self.y.__getitem__)
+        return self.x[index], self.y[index]
+
+    def min_point(self) -> tuple[float, float]:
+        """Return ``(x, y)`` of the minimum y value."""
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        index = min(range(len(self.y)), key=self.y.__getitem__)
+        return self.x[index], self.y[index]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure: metadata plus one series per curve."""
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[ExperimentSeries] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_series(self, series: ExperimentSeries) -> None:
+        """Append one curve to the figure."""
+        self.series.append(series)
+
+    def series_by_label(self, label: str) -> ExperimentSeries:
+        """Look up a curve by its label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        available = ", ".join(repr(candidate.label) for candidate in self.series)
+        raise KeyError(f"no series labelled {label!r}; available: {available}")
+
+    def labels(self) -> list[str]:
+        """Labels of all curves, in insertion order."""
+        return [series.label for series in self.series]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Return a JSON-serialisable representation of the result."""
+        return asdict(self)
+
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """Serialise to JSON; optionally write the document to ``path``."""
+        document = json.dumps(self.to_dict(), indent=indent, default=float)
+        if path is not None:
+            Path(path).write_text(document + "\n", encoding="utf-8")
+        return document
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        series = [ExperimentSeries(**entry) for entry in data.get("series", [])]
+        return cls(
+            name=data["name"],
+            title=data.get("title", data["name"]),
+            x_label=data.get("x_label", "x"),
+            y_label=data.get("y_label", "y"),
+            series=series,
+            metadata=data.get("metadata", {}),
+        )
+
+    @classmethod
+    def from_json(cls, document: str | Path) -> "ExperimentResult":
+        """Load a result from a JSON string or file path."""
+        path = Path(document) if not str(document).lstrip().startswith("{") else None
+        text = path.read_text(encoding="utf-8") if path is not None else str(document)
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Tabular view
+    # ------------------------------------------------------------------
+    def rows(self) -> list[dict[str, float]]:
+        """Flatten the figure into one row per x value with one column per curve."""
+        x_values: list[float] = sorted({x for series in self.series for x in series.x})
+        table: list[dict[str, float]] = []
+        for x in x_values:
+            row: dict[str, float] = {"x": x}
+            for series in self.series:
+                try:
+                    row[series.label] = series.y_at(x)
+                except KeyError:
+                    row[series.label] = float("nan")
+            table.append(row)
+        return table
+
+    def column_names(self) -> Sequence[str]:
+        """Column names of :meth:`rows` (``x`` followed by the curve labels)."""
+        return ["x"] + self.labels()

@@ -1,0 +1,115 @@
+"""Figure 6 -- impact of the DAG transformation on average performance.
+
+The experiment of Section 5.2: simulate the execution of the original task
+``tau`` and of the transformed task ``tau'`` under the work-conserving
+breadth-first (GOMP) scheduler, on hosts with ``m in {2, 4, 8, 16}`` cores
+plus one accelerator, for random large tasks (``n in [100, 250]``), sweeping
+the offloaded workload ``C_off`` from 1 % to 70 % of the task volume.  The
+reported metric is the *percentage change of the average execution time of*
+``tau`` *with respect to* ``tau'``:
+
+* negative values -- the synchronisation node hurts: ``tau`` is faster than
+  ``tau'`` (observed for small ``C_off``, more strongly for larger ``m``);
+* positive values -- the transformation pays off: forcing ``G_par`` to run
+  while ``v_off`` executes avoids the host idling of Figure 1(c).
+
+The paper reports the crossover at roughly 11 %, 8 %, 6 % and 4.5 % of the
+volume for ``m = 2, 4, 8, 16`` and peak slowdowns of the original task of
+about 24 % (m = 2) down to 4 % (m = 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.comparison import percentage_change
+from ..core.transformation import transform
+from ..generator.config import GeneratorConfig, OffloadConfig
+from ..generator.presets import LARGE_TASKS_FIG6
+from ..generator.sweep import offload_fraction_sweep
+from ..simulation.engine import simulate_makespan
+from ..simulation.platform import Platform
+from ..simulation.schedulers import BreadthFirstPolicy, SchedulingPolicy
+from .base import ExperimentResult, ExperimentSeries
+from .config import ExperimentScale, quick_scale
+
+__all__ = ["run_figure6"]
+
+
+def run_figure6(
+    scale: Optional[ExperimentScale] = None,
+    generator_config: GeneratorConfig = LARGE_TASKS_FIG6,
+    policy: Optional[SchedulingPolicy] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 6 of the paper.
+
+    Parameters
+    ----------
+    scale:
+        Sampling effort; defaults to :func:`~repro.experiments.config.quick_scale`.
+    generator_config:
+        Structural distribution of the random tasks (defaults to the paper's
+        large-task preset restricted to ``n in [100, 250]``).
+    policy:
+        Scheduling policy used for both tasks; defaults to the GOMP-style
+        breadth-first policy.  The scheduler ablation benchmark passes other
+        policies here.
+
+    Returns
+    -------
+    ExperimentResult
+        One series per host size ``m``; x is the target ``C_off`` fraction,
+        y the percentage change of the average makespan of ``tau`` with
+        respect to ``tau'``.
+    """
+    scale = scale or quick_scale()
+    policy = policy or BreadthFirstPolicy()
+    rng = np.random.default_rng(scale.seed)
+    points = offload_fraction_sweep(
+        fractions=scale.fractions,
+        dags_per_point=scale.dags_per_point,
+        generator_config=generator_config,
+        offload_config=OffloadConfig(),
+        rng=rng,
+        paired=True,
+    )
+
+    result = ExperimentResult(
+        name="figure6",
+        title="Percentage change of the average execution time of tau w.r.t. tau'",
+        x_label="C_off / vol(G)",
+        y_label="percentage change of average makespan [%]",
+        metadata={
+            "dags_per_point": scale.dags_per_point,
+            "policy": policy.name,
+            "generator": "large tasks, n in "
+            f"[{generator_config.n_min}, {generator_config.n_max}]",
+            "seed": scale.seed,
+        },
+    )
+
+    for cores in scale.core_counts:
+        platform = Platform(host_cores=cores, accelerators=1)
+        series = ExperimentSeries(label=f"m={cores}")
+        for point in points:
+            original_makespans = []
+            transformed_makespans = []
+            for task in point.tasks:
+                transformed = transform(task)
+                original_makespans.append(
+                    simulate_makespan(task, platform, policy)
+                )
+                transformed_makespans.append(
+                    simulate_makespan(transformed.task, platform, policy)
+                )
+            average_original = float(np.mean(original_makespans))
+            average_transformed = float(np.mean(transformed_makespans))
+            series.append(
+                point.fraction,
+                percentage_change(average_original, average_transformed),
+            )
+        series.metadata["crossover_fraction"] = series.crossover()
+        result.add_series(series)
+    return result

@@ -1,0 +1,135 @@
+"""Figure 7 -- accuracy of the bounds against the optimal makespan.
+
+The experiment of Section 5.3: for *small* tasks (the only sizes the ILP can
+handle), compute the minimum makespan of each heterogeneous task with the ILP
+solver and report the *increment* (in percent) of the homogeneous bound
+``R_hom(tau)`` and of the heterogeneous bound ``R_het(tau')`` over that
+optimum, sweeping the offloaded fraction.
+
+The paper shows ``m = 2`` with ``n in [3, 20]`` and ``m = 8`` with
+``n in [30, 60]``; the reproduction scales the node range with ``m`` in the
+same spirit (see :func:`node_range_for_cores`).  The expected shape: the
+pessimism of ``R_het`` shrinks as ``C_off`` grows (below 1 % for large
+fractions) while ``R_hom`` keeps growing, with ``R_hom`` better only for very
+small fractions.
+
+Substitution note: the paper used CPLEX with up to 12 hours per instance and
+WCETs in ``[1, 100]``; the reproduction uses HiGHS with an optional
+per-instance time limit and (by default at quick scale) a smaller WCET range,
+which keeps the time-indexed models small without affecting the *relative*
+comparison between the bounds and the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.comparison import percentage_increment
+from ..analysis.heterogeneous import response_time as heterogeneous_response_time
+from ..analysis.homogeneous import response_time as homogeneous_response_time
+from ..core.transformation import transform
+from ..generator.config import OffloadConfig
+from ..generator.presets import SMALL_TASKS
+from ..generator.sweep import offload_fraction_sweep
+from ..ilp.makespan import MakespanMethod, minimum_makespan
+from .base import ExperimentResult, ExperimentSeries
+from .config import ExperimentScale, quick_scale
+
+__all__ = ["run_figure7", "node_range_for_cores"]
+
+
+def node_range_for_cores(scale: ExperimentScale, cores: int) -> tuple[int, int]:
+    """Node-count range of the small tasks used against the ILP for ``m``.
+
+    The paper uses ``[3, 20]`` nodes for ``m = 2`` and ``[30, 60]`` for
+    ``m = 8`` (larger hosts need larger tasks for the comparison to be
+    meaningful).  The reproduction keeps the configured range for ``m <= 2``
+    and scales it up by 2.5x for larger hosts, which reproduces the paper's
+    ranges when the paper-scale configuration is used.
+    """
+    low, high = scale.ilp_node_range
+    if cores <= 2:
+        return (low, high)
+    return (high, max(high + 2, int(round(high * 2.5))))
+
+
+def run_figure7(
+    scale: Optional[ExperimentScale] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 7 of the paper.
+
+    Returns
+    -------
+    ExperimentResult
+        Two series per host size ``m``: ``R_hom m=<m>`` and ``R_het m=<m>``,
+        giving the average percentage increment of each bound over the ILP
+        minimum makespan at every offloaded fraction.
+    """
+    scale = scale or quick_scale()
+    rng = np.random.default_rng(scale.seed + 7)
+
+    result = ExperimentResult(
+        name="figure7",
+        title="Increment of R_hom(tau) and R_het(tau') w.r.t. the minimum makespan",
+        x_label="C_off / vol(G)",
+        y_label="increment over optimal makespan [%]",
+        metadata={
+            "dags_per_point": scale.dags_per_point,
+            "wcet_max": scale.ilp_wcet_max,
+            "ilp_time_limit": scale.ilp_time_limit,
+            "seed": scale.seed,
+        },
+    )
+
+    # Figure 7 shows m = 2 and m = 8; evaluate whichever of those the scale
+    # requests (falling back to the first two configured core counts).
+    preferred = [m for m in scale.core_counts if m in (2, 8)] or list(
+        scale.core_counts[:2]
+    )
+    for cores in preferred:
+        node_range = node_range_for_cores(scale, cores)
+        generator_config = replace(
+            SMALL_TASKS,
+            n_min=node_range[0],
+            n_max=node_range[1],
+            c_max=scale.ilp_wcet_max,
+        )
+        points = offload_fraction_sweep(
+            fractions=scale.small_task_fractions,
+            dags_per_point=scale.dags_per_point,
+            generator_config=generator_config,
+            offload_config=OffloadConfig(),
+            rng=rng,
+            paired=True,
+        )
+        hom_series = ExperimentSeries(
+            label=f"R_hom m={cores}", metadata={"nodes": list(node_range)}
+        )
+        het_series = ExperimentSeries(
+            label=f"R_het m={cores}", metadata={"nodes": list(node_range)}
+        )
+        for point in points:
+            hom_increments = []
+            het_increments = []
+            for task in point.tasks:
+                # The ILP requires integer WCETs; round the pinned C_off.
+                task = task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet)))
+                optimum = minimum_makespan(
+                    task,
+                    cores,
+                    method=MakespanMethod.ILP,
+                    time_limit=scale.ilp_time_limit,
+                ).makespan
+                transformed = transform(task)
+                hom = homogeneous_response_time(task, cores).bound
+                het = heterogeneous_response_time(transformed, cores).bound
+                hom_increments.append(percentage_increment(hom, optimum))
+                het_increments.append(percentage_increment(het, optimum))
+            hom_series.append(point.fraction, float(np.mean(hom_increments)))
+            het_series.append(point.fraction, float(np.mean(het_increments)))
+        result.add_series(hom_series)
+        result.add_series(het_series)
+    return result

@@ -1,0 +1,68 @@
+"""Unified experiment runner: one entry point per paper artefact.
+
+:func:`run_experiment` dispatches an experiment name (``figure6`` ...
+``figure9``, ``worked-example``, the ablations) to its driver and returns the
+:class:`~repro.experiments.base.ExperimentResult`; :func:`run_all` runs every
+experiment of the paper.  The CLI (:mod:`repro.cli`) and the benchmark
+harness are thin wrappers around these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .ablations import run_ilp_ablation, run_scheduler_ablation
+from .base import ExperimentResult
+from .config import ExperimentScale, paper_scale, quick_scale
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .figure8 import run_figure8
+from .figure9 import run_figure9
+from .worked_example import run_worked_example
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "available_experiments"]
+
+#: Mapping of experiment names to their driver functions.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "worked-example": lambda scale=None: run_worked_example(),
+    "figure6": run_figure6,
+    "figure7": run_figure7,
+    "figure8": run_figure8,
+    "figure9": run_figure9,
+    "ablation-scheduler": run_scheduler_ablation,
+    "ablation-ilp": run_ilp_ablation,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`run_experiment`, in canonical order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, scale: Optional[ExperimentScale] = None
+) -> ExperimentResult:
+    """Run one experiment by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_experiments`.
+    scale:
+        Sampling effort; ``None`` uses the quick (seconds-scale) preset.
+    """
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        valid = ", ".join(available_experiments())
+        raise KeyError(f"unknown experiment {name!r}; valid names: {valid}") from None
+    return driver(scale=scale) if name != "worked-example" else driver()
+
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    names: Optional[list[str]] = None,
+) -> dict[str, ExperimentResult]:
+    """Run every requested experiment and return the results by name."""
+    selected = names if names is not None else available_experiments()
+    return {name: run_experiment(name, scale) for name in selected}

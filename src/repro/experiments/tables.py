@@ -1,0 +1,85 @@
+"""Plain-text rendering of experiment results.
+
+The original paper presents its evaluation as figures; this reproduction
+prints the same data as fixed-width text tables (one row per ``C_off``
+fraction, one column per host size or bound), which is what the benchmark
+harness emits and what EXPERIMENTS.md quotes.  CSV export is provided for
+users who want to re-plot the curves with their favourite tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .base import ExperimentResult
+
+__all__ = ["format_table", "render_result", "to_csv", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of row sequences; floats are formatted with
+        ``float_format``, everything else with ``str``.
+    float_format:
+        Format string applied to float cells.
+    """
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).rjust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult, float_format: str = "{:.2f}") -> str:
+    """Render an :class:`ExperimentResult` as a titled text table."""
+    headers = list(result.column_names())
+    rows = [[row[name] for name in headers] for row in result.rows()]
+    table = format_table(headers, rows, float_format)
+    title = f"{result.title}\n({result.x_label} vs {result.y_label})"
+    return f"{title}\n{table}"
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Serialise an :class:`ExperimentResult` to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    headers = list(result.column_names())
+    writer.writerow(headers)
+    for row in result.rows():
+        writer.writerow([row[name] for name in headers])
+    return buffer.getvalue()
+
+
+def write_csv(result: ExperimentResult, path: str | Path) -> Path:
+    """Write :func:`to_csv` output to a file and return the path."""
+    destination = Path(path)
+    destination.write_text(to_csv(result), encoding="utf-8")
+    return destination

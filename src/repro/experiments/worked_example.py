@@ -1,0 +1,82 @@
+"""Figures 1 and 2 -- the worked example of the paper, as a checkable table.
+
+The motivating example of Section 3.2 packs the whole argument of the paper
+into six nodes: the homogeneous bound, the *unsafe* naive reduction, a
+work-conserving schedule that violates the naive bound, and the transformed
+task whose schedule is both faster and safely bounded.  This driver
+recomputes every number quoted in the text and returns them as a result
+table; the regression test asserts exact equality with the paper.
+"""
+
+from __future__ import annotations
+
+from ..analysis.heterogeneous import naive_unsafe_response_time
+from ..analysis.heterogeneous import response_time as heterogeneous_response_time
+from ..analysis.homogeneous import response_time as homogeneous_response_time
+from ..core.examples import figure1_task
+from ..core.transformation import transform
+from ..simulation.engine import simulate_makespan
+from ..simulation.platform import Platform
+from ..simulation.worst_case import exhaustive_worst_case
+from .base import ExperimentResult, ExperimentSeries
+
+__all__ = ["run_worked_example", "EXPECTED_VALUES"]
+
+#: The values quoted in Sections 3.2 and 3.3 of the paper for Figures 1 & 2.
+EXPECTED_VALUES: dict[str, float] = {
+    "vol(G)": 18.0,
+    "len(G)": 8.0,
+    "R_hom": 13.0,
+    "naive_bound": 11.0,
+    "worst_case_makespan_original": 12.0,
+    "len(G')": 10.0,
+    "makespan_transformed_breadth_first": 10.0,
+    "R_het": 12.0,
+}
+
+
+def run_worked_example(cores: int = 2) -> ExperimentResult:
+    """Recompute every quantity of the Figure 1/2 worked example.
+
+    Parameters
+    ----------
+    cores:
+        Host size; the paper's example uses ``m = 2``.
+
+    Returns
+    -------
+    ExperimentResult
+        A single series whose x values index the metrics (in the order of
+        :data:`EXPECTED_VALUES`) and whose metadata carries a name -> value
+        mapping for readable access.
+    """
+    task = figure1_task()
+    platform = Platform(host_cores=cores, accelerators=1)
+    transformed = transform(task)
+
+    values: dict[str, float] = {
+        "vol(G)": task.volume,
+        "len(G)": task.critical_path_length,
+        "R_hom": homogeneous_response_time(task, cores).bound,
+        "naive_bound": naive_unsafe_response_time(task, cores).bound,
+        "worst_case_makespan_original": exhaustive_worst_case(task, platform).makespan,
+        "len(G')": transformed.transformed_length(),
+        "makespan_transformed_breadth_first": simulate_makespan(
+            transformed.task, platform
+        ),
+        "R_het": heterogeneous_response_time(transformed, cores).bound,
+    }
+
+    series = ExperimentSeries(label=f"m={cores}", metadata={"values": values})
+    for index, (name, value) in enumerate(values.items()):
+        series.append(float(index), value)
+
+    result = ExperimentResult(
+        name="worked-example",
+        title="Figure 1/2 worked example (Sections 3.2-3.3)",
+        x_label="metric index",
+        y_label="value",
+        metadata={"metric_names": list(values), "expected": EXPECTED_VALUES},
+    )
+    result.add_series(series)
+    return result

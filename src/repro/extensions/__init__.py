@@ -1,0 +1,34 @@
+"""Extensions covering the paper's announced future work.
+
+* :mod:`repro.extensions.multi_offload` -- several offloaded nodes sharing
+  the single accelerator device (future work item (i));
+* :mod:`repro.extensions.multi_device` -- offloaded nodes partitioned over
+  several accelerator devices (future work item (ii)).
+
+Both provide a *sound* response-time bound (proven safe against the
+simulator by property tests) together with simulation support; tightening
+them with per-device synchronisation points in the spirit of Algorithm 1 is
+left as genuine research.
+"""
+
+from .multi_device import (
+    MultiDeviceTask,
+    balance_devices,
+    simulate_multi_device,
+)
+from .multi_device import response_time as multi_device_response_time
+from .multi_offload import (
+    MultiOffloadTask,
+    simulate_multi_offload,
+)
+from .multi_offload import response_time as multi_offload_response_time
+
+__all__ = [
+    "MultiOffloadTask",
+    "multi_offload_response_time",
+    "simulate_multi_offload",
+    "MultiDeviceTask",
+    "multi_device_response_time",
+    "balance_devices",
+    "simulate_multi_device",
+]

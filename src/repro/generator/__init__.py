@@ -1,0 +1,61 @@
+"""Random DAG task generation (the paper's Section 5.1 experimental setup).
+
+* :mod:`repro.generator.config` -- generator and offload parameter objects;
+* :mod:`repro.generator.random_dag` -- the recursive fork/join (series-
+  parallel) structure generator used by the paper;
+* :mod:`repro.generator.layered` -- a layered random DAG generator used for
+  ablations;
+* :mod:`repro.generator.offload` -- offloaded-node selection and ``C_off``
+  sizing;
+* :mod:`repro.generator.presets` -- the paper's "small tasks" / "large tasks"
+  workload presets;
+* :mod:`repro.generator.sweep` -- batches of tasks per target ``C_off``
+  fraction, as consumed by the experiment drivers.
+"""
+
+from .config import GeneratorConfig, OffloadConfig
+from .layered import LayeredConfig, LayeredDagGenerator, generate_layered_task
+from .offload import (
+    assign_offloaded_wcet,
+    make_heterogeneous,
+    pin_offloaded_fraction,
+    select_offloaded_node,
+)
+from .presets import (
+    CORE_COUNTS,
+    LARGE_TASKS,
+    LARGE_TASKS_FIG6,
+    LARGE_TASKS_UPPER_RANGE,
+    SMALL_TASKS,
+    SMALL_TASKS_FIG7_M2,
+    SMALL_TASKS_FIG7_M8,
+    preset_by_name,
+)
+from .random_dag import DagStructureGenerator, generate_graph, generate_host_task
+from .sweep import SweepPoint, default_fraction_grid, offload_fraction_sweep
+
+__all__ = [
+    "GeneratorConfig",
+    "OffloadConfig",
+    "DagStructureGenerator",
+    "generate_graph",
+    "generate_host_task",
+    "LayeredConfig",
+    "LayeredDagGenerator",
+    "generate_layered_task",
+    "select_offloaded_node",
+    "assign_offloaded_wcet",
+    "pin_offloaded_fraction",
+    "make_heterogeneous",
+    "SweepPoint",
+    "offload_fraction_sweep",
+    "default_fraction_grid",
+    "CORE_COUNTS",
+    "SMALL_TASKS",
+    "SMALL_TASKS_FIG7_M2",
+    "SMALL_TASKS_FIG7_M8",
+    "LARGE_TASKS",
+    "LARGE_TASKS_FIG6",
+    "LARGE_TASKS_UPPER_RANGE",
+    "preset_by_name",
+]

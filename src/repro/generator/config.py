@@ -1,0 +1,140 @@
+"""Configuration objects for the random DAG task generators.
+
+The evaluation of the paper (Section 5.1) generates random DAG tasks "by
+recursively expanding nodes either to terminal nodes or parallel sub-DAGs,
+until a maximum recursion depth ``maxdepth`` is reached".  The parameters of
+that process are grouped in :class:`GeneratorConfig`; the two workload
+classes used by the paper -- *small tasks* (for the ILP comparison) and
+*large tasks* -- are provided as ready-made presets in
+:mod:`repro.generator.presets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.exceptions import GenerationError
+
+__all__ = ["GeneratorConfig", "OffloadConfig"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the recursive-expansion DAG generator (Section 5.1).
+
+    Attributes
+    ----------
+    p_par:
+        Probability that a node expands into a parallel sub-DAG rather than a
+        terminal node.  The paper uses ``0.5``.
+    n_par:
+        Maximum number of branches of a parallel sub-DAG.  The paper uses
+        ``6`` for small tasks and ``8`` for large tasks.
+    max_depth:
+        Maximum recursion depth.  It also determines the longest possible
+        path of the generated DAG (``2 * max_depth + 1`` nodes): ``3`` gives
+        a longest path of 7 nodes, ``5`` gives 11, exactly as in the paper.
+    n_min, n_max:
+        Minimum and maximum number of nodes; DAGs outside the range are
+        rejected and re-drawn.
+    c_min, c_max:
+        Bounds of the uniform integer WCET distribution of host nodes; the
+        paper uses ``[1, 100]``.
+    force_root_expansion:
+        Always expand the root node into a parallel sub-DAG (instead of
+        possibly producing a single-node DAG), which makes rejection sampling
+        of the ``[n_min, n_max]`` constraint far more efficient.  The
+        single-node DAGs it suppresses would be rejected anyway for every
+        configuration used in the paper (``n_min >= 3``).
+    max_attempts:
+        Number of rejection-sampling attempts before giving up.
+    """
+
+    p_par: float = 0.5
+    n_par: int = 8
+    max_depth: int = 5
+    n_min: int = 100
+    n_max: int = 400
+    c_min: int = 1
+    c_max: int = 100
+    force_root_expansion: bool = True
+    max_attempts: int = 2000
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_par <= 1.0:
+            raise GenerationError(f"p_par must be within [0, 1], got {self.p_par}")
+        if self.n_par < 2:
+            raise GenerationError(f"n_par must be >= 2, got {self.n_par}")
+        if self.max_depth < 1:
+            raise GenerationError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.n_min < 1 or self.n_max < self.n_min:
+            raise GenerationError(
+                f"invalid node-count range [{self.n_min}, {self.n_max}]"
+            )
+        if self.c_min < 0 or self.c_max < self.c_min:
+            raise GenerationError(
+                f"invalid WCET range [{self.c_min}, {self.c_max}]"
+            )
+        if self.max_attempts < 1:
+            raise GenerationError("max_attempts must be >= 1")
+
+    @property
+    def longest_possible_path(self) -> int:
+        """Longest possible path in nodes: ``2 * max_depth + 1``.
+
+        Each level of recursion adds a fork and a join node around the
+        longest branch; the innermost level is a single terminal node.
+        """
+        return 2 * self.max_depth + 1
+
+    def with_node_range(self, n_min: int, n_max: int) -> "GeneratorConfig":
+        """Return a copy with a different ``[n_min, n_max]`` node range."""
+        return replace(self, n_min=n_min, n_max=n_max)
+
+
+@dataclass(frozen=True)
+class OffloadConfig:
+    """How to select the offloaded node and assign its WCET ``C_off``.
+
+    The paper randomly selects ``v_off`` among all nodes; ``C_off`` is either
+    drawn uniformly from ``[1, C_off_max]`` where ``C_off_max`` is a
+    percentage of the DAG volume (up to 60 %), or pinned to an exact target
+    fraction of the volume -- the experiments sweep that target fraction.
+
+    Attributes
+    ----------
+    target_fraction:
+        When set, ``C_off`` is chosen so that ``C_off / vol(G)`` equals this
+        value (``vol(G)`` *includes* ``C_off``, as in the paper's figures).
+    max_fraction:
+        When ``target_fraction`` is ``None``, ``C_off`` is drawn uniformly
+        from ``[1, max_fraction * vol(G_host) / (1 - max_fraction)]``.
+    exclude_source_sink:
+        Do not pick the DAG source or sink as the offloaded node.  Disabled
+        by default to match the paper ("randomly select v_off among all the
+        nodes").
+    minimum_wcet:
+        Lower bound for ``C_off`` (the paper draws it from ``[1, ...]``).
+    """
+
+    target_fraction: Optional[float] = None
+    max_fraction: float = 0.6
+    exclude_source_sink: bool = False
+    minimum_wcet: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.target_fraction is not None and not 0.0 <= self.target_fraction < 1.0:
+            raise GenerationError(
+                f"target_fraction must be within [0, 1), got {self.target_fraction}"
+            )
+        if not 0.0 < self.max_fraction < 1.0:
+            raise GenerationError(
+                f"max_fraction must be within (0, 1), got {self.max_fraction}"
+            )
+        if self.minimum_wcet < 0:
+            raise GenerationError("minimum_wcet must be >= 0")
+
+    def with_target_fraction(self, fraction: float) -> "OffloadConfig":
+        """Return a copy pinning ``C_off`` to ``fraction`` of the volume."""
+        return replace(self, target_fraction=fraction)

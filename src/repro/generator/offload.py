@@ -1,0 +1,139 @@
+"""Selection and sizing of the offloaded node ``v_off``.
+
+Section 5.1 of the paper: "Once a DAG is generated, we randomly select
+``v_off`` among all the nodes.  ``C_off`` is assigned within the interval
+``[1, C_off_max]`` where ``C_off_max`` represents a percentage (up to 60 %)
+of the DAG's volume."
+
+The evaluation figures, however, sweep the *exact* percentage of ``C_off``
+over the task volume ("we generate 100 DAGs for each target value of
+``C_off``").  Both policies are implemented:
+
+* :func:`select_offloaded_node` picks ``v_off`` uniformly at random,
+* :func:`assign_offloaded_wcet` draws ``C_off`` uniformly below a volume
+  fraction, and
+* :func:`pin_offloaded_fraction` sets ``C_off`` so the offloaded workload is
+  exactly a target fraction of the (resulting) total volume, which is what
+  the experiment drivers use.
+
+All functions return *new* tasks; the input task is never modified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+from ..core.graph import NodeId
+from ..core.task import DagTask
+from .config import OffloadConfig
+
+__all__ = [
+    "select_offloaded_node",
+    "assign_offloaded_wcet",
+    "pin_offloaded_fraction",
+    "make_heterogeneous",
+]
+
+
+def select_offloaded_node(
+    task: DagTask,
+    config: OffloadConfig = OffloadConfig(),
+    rng: np.random.Generator | int | None = None,
+) -> DagTask:
+    """Return a copy of ``task`` with a randomly chosen offloaded node.
+
+    The WCET of the chosen node is left untouched; combine with
+    :func:`assign_offloaded_wcet` or :func:`pin_offloaded_fraction` to size
+    ``C_off``.
+    """
+    rng = np.random.default_rng(rng)
+    candidates: list[NodeId] = list(task.graph.nodes())
+    if config.exclude_source_sink:
+        excluded = set(task.graph.sources()) | set(task.graph.sinks())
+        candidates = [node for node in candidates if node not in excluded]
+    if not candidates:
+        raise GenerationError(
+            "no candidate node available for offloading "
+            "(graph too small for exclude_source_sink)"
+        )
+    chosen = candidates[int(rng.integers(0, len(candidates)))]
+    return task.with_offloaded_node(chosen)
+
+
+def assign_offloaded_wcet(
+    task: DagTask,
+    config: OffloadConfig = OffloadConfig(),
+    rng: np.random.Generator | int | None = None,
+) -> DagTask:
+    """Draw ``C_off`` uniformly from ``[minimum_wcet, C_off_max]``.
+
+    ``C_off_max`` is chosen so that the offloaded node can represent at most
+    ``config.max_fraction`` of the resulting task volume:
+    ``C_off_max = max_fraction * vol_host / (1 - max_fraction)``.
+    """
+    if task.offloaded_node is None:
+        raise GenerationError("task has no offloaded node; call select_offloaded_node first")
+    rng = np.random.default_rng(rng)
+    host_volume = task.host_volume()
+    upper = config.max_fraction * host_volume / (1.0 - config.max_fraction)
+    upper = max(upper, config.minimum_wcet)
+    wcet = float(rng.uniform(config.minimum_wcet, upper))
+    wcet = max(config.minimum_wcet, round(wcet))
+    return task.with_offloaded_wcet(wcet)
+
+
+def pin_offloaded_fraction(
+    task: DagTask,
+    fraction: float,
+    minimum_wcet: float = 1.0,
+) -> DagTask:
+    """Set ``C_off`` so that ``C_off / vol(G)`` equals ``fraction``.
+
+    ``vol(G)`` includes ``C_off`` itself (this is how the paper's x-axes are
+    defined), so the assignment solves ``C_off = fraction * (vol_host +
+    C_off)``, i.e. ``C_off = fraction * vol_host / (1 - fraction)``.
+
+    Parameters
+    ----------
+    task:
+        A task with an offloaded node already designated.
+    fraction:
+        Target value of ``C_off / vol(G)``, in ``[0, 1)``.
+    minimum_wcet:
+        ``C_off`` is never set below this value (the paper draws it from
+        ``[1, ...]``); pass ``0`` to allow a zero-size offloaded node.
+    """
+    if task.offloaded_node is None:
+        raise GenerationError("task has no offloaded node; call select_offloaded_node first")
+    if not 0.0 <= fraction < 1.0:
+        raise GenerationError(f"fraction must lie in [0, 1), got {fraction}")
+    host_volume = task.host_volume()
+    if fraction == 0.0:
+        wcet = minimum_wcet
+    else:
+        wcet = fraction * host_volume / (1.0 - fraction)
+        wcet = max(minimum_wcet, wcet)
+    return task.with_offloaded_wcet(wcet)
+
+
+def make_heterogeneous(
+    task: DagTask,
+    config: OffloadConfig = OffloadConfig(),
+    rng: np.random.Generator | int | None = None,
+    target_fraction: Optional[float] = None,
+) -> DagTask:
+    """Select ``v_off`` and size ``C_off`` in one call.
+
+    ``target_fraction`` (or ``config.target_fraction``) pins the offloaded
+    fraction exactly; otherwise ``C_off`` is drawn uniformly below
+    ``config.max_fraction`` of the volume.
+    """
+    rng = np.random.default_rng(rng)
+    with_node = select_offloaded_node(task, config, rng)
+    fraction = target_fraction if target_fraction is not None else config.target_fraction
+    if fraction is not None:
+        return pin_offloaded_fraction(with_node, fraction, config.minimum_wcet)
+    return assign_offloaded_wcet(with_node, config, rng)

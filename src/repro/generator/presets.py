@@ -1,0 +1,92 @@
+"""Named workload presets reproducing Section 5.1 of the paper.
+
+Two classes of DAG tasks are used throughout the evaluation:
+
+* **Small tasks** -- ``n <= 100`` nodes, ``n_par = 6``, ``maxdepth = 3``
+  (longest possible path: 7 nodes).  Used for the comparison against the ILP
+  solver, which cannot handle larger tasks.  Figure 7 further restricts the
+  node count to ``n in [3, 20]`` for ``m = 2`` and ``n in [30, 60]`` for
+  ``m = 8``.
+* **Large tasks** -- ``n in [100, 400]`` nodes, ``n_par = 8``,
+  ``maxdepth = 5`` (longest possible path: 11 nodes).  Figures 6, 8 and 9 use
+  the ``n in [100, 250]`` sub-range (the paper notes similar trends for
+  ``n in [250, 400]``).
+
+Both presets use ``p_par = 0.5`` and WCETs uniform in ``[1, 100]``.
+"""
+
+from __future__ import annotations
+
+from .config import GeneratorConfig
+
+__all__ = [
+    "SMALL_TASKS",
+    "SMALL_TASKS_FIG7_M2",
+    "SMALL_TASKS_FIG7_M8",
+    "LARGE_TASKS",
+    "LARGE_TASKS_FIG6",
+    "LARGE_TASKS_UPPER_RANGE",
+    "CORE_COUNTS",
+    "preset_by_name",
+]
+
+#: Host core counts evaluated by every experiment of the paper.
+CORE_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
+
+#: Small tasks (Section 5.1): n <= 100, n_par = 6, maxdepth = 3.
+SMALL_TASKS = GeneratorConfig(
+    p_par=0.5,
+    n_par=6,
+    max_depth=3,
+    n_min=3,
+    n_max=100,
+    c_min=1,
+    c_max=100,
+)
+
+#: Small tasks as used by Figure 7(a): m = 2 cores, n in [3, 20].
+SMALL_TASKS_FIG7_M2 = SMALL_TASKS.with_node_range(3, 20)
+
+#: Small tasks as used by Figure 7(b): m = 8 cores, n in [30, 60].
+SMALL_TASKS_FIG7_M8 = SMALL_TASKS.with_node_range(30, 60)
+
+#: Large tasks (Section 5.1): n in [100, 400], n_par = 8, maxdepth = 5.
+LARGE_TASKS = GeneratorConfig(
+    p_par=0.5,
+    n_par=8,
+    max_depth=5,
+    n_min=100,
+    n_max=400,
+    c_min=1,
+    c_max=100,
+)
+
+#: Large tasks restricted to n in [100, 250], the range shown in Figures 6,
+#: 8 and 9.
+LARGE_TASKS_FIG6 = LARGE_TASKS.with_node_range(100, 250)
+
+#: Large tasks in the upper range n in [250, 400] ("similar trends have been
+#: observed"), provided so the claim can be re-checked.
+LARGE_TASKS_UPPER_RANGE = LARGE_TASKS.with_node_range(250, 400)
+
+_PRESETS: dict[str, GeneratorConfig] = {
+    "small": SMALL_TASKS,
+    "small-fig7-m2": SMALL_TASKS_FIG7_M2,
+    "small-fig7-m8": SMALL_TASKS_FIG7_M8,
+    "large": LARGE_TASKS,
+    "large-fig6": LARGE_TASKS_FIG6,
+    "large-upper": LARGE_TASKS_UPPER_RANGE,
+}
+
+
+def preset_by_name(name: str) -> GeneratorConfig:
+    """Look up a preset configuration by its short name.
+
+    Valid names: ``small``, ``small-fig7-m2``, ``small-fig7-m8``, ``large``,
+    ``large-fig6``, ``large-upper``.
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        valid = ", ".join(sorted(_PRESETS))
+        raise KeyError(f"unknown preset {name!r}; valid presets: {valid}") from None

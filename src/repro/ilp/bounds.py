@@ -1,0 +1,69 @@
+"""Makespan lower and upper bounds used by the exact solvers.
+
+Both the time-indexed ILP (which needs a finite horizon) and the
+branch-and-bound search (which needs pruning bounds) rely on cheap bounds on
+the minimum makespan of a heterogeneous DAG task on ``m`` host cores plus one
+accelerator:
+
+* :func:`makespan_lower_bound` -- the maximum of the critical-path bound, the
+  host load bound and the accelerator load bound; no schedule can beat it;
+* :func:`list_schedule_upper_bound` -- the makespan of a concrete
+  work-conserving schedule (critical-path-first list scheduling), which the
+  optimal makespan can never exceed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.task import DagTask
+from ..simulation.engine import simulate_makespan
+from ..simulation.platform import Platform
+from ..simulation.schedulers import BreadthFirstPolicy, CriticalPathFirstPolicy
+
+__all__ = ["makespan_lower_bound", "list_schedule_upper_bound"]
+
+
+def makespan_lower_bound(task: DagTask, cores: int, accelerators: int = 1) -> float:
+    """A valid lower bound on the makespan of any schedule of the task.
+
+    The bound is ``max(len(G), host_volume / m, C_off / accelerators)``:
+
+    * no schedule finishes before the critical path does,
+    * the host workload needs at least ``host_volume / m`` time on ``m``
+      cores, and
+    * the offloaded workload needs the accelerator for ``C_off``.
+    """
+    host_volume = task.host_volume()
+    accelerator_load = 0.0
+    if task.is_heterogeneous and accelerators > 0:
+        accelerator_load = task.offloaded_wcet / accelerators
+    elif task.is_heterogeneous:
+        # Without accelerator the offloaded node runs on the host.
+        host_volume += task.offloaded_wcet
+    return max(task.critical_path_length, host_volume / cores, accelerator_load)
+
+
+def list_schedule_upper_bound(
+    task: DagTask, cores: int, accelerators: int = 1
+) -> float:
+    """Makespan of a concrete work-conserving schedule (upper bound).
+
+    Two list schedules are evaluated -- critical-path-first and
+    breadth-first -- and the smaller makespan is returned; the optimum can
+    only be smaller or equal.
+    """
+    platform = Platform(host_cores=cores, accelerators=accelerators)
+    offload = task.is_heterogeneous and accelerators > 0
+    candidates = [
+        simulate_makespan(task, platform, CriticalPathFirstPolicy(), offload_enabled=offload),
+        simulate_makespan(task, platform, BreadthFirstPolicy(), offload_enabled=offload),
+    ]
+    return min(candidates)
+
+
+def _as_platform(platform_or_cores: Union[Platform, int]) -> Platform:
+    """Internal helper mirroring the simulator's platform coercion."""
+    if isinstance(platform_or_cores, Platform):
+        return platform_or_cores
+    return Platform(host_cores=int(platform_or_cores), accelerators=1)

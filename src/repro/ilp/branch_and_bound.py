@@ -1,0 +1,237 @@
+"""Exact branch-and-bound minimum-makespan solver (integer start times).
+
+An independent exact solver used to cross-check the ILP.  The paper only had
+CPLEX as its makespan oracle; having two independent oracles materially
+increases confidence in the reproduction (see
+``benchmarks/bench_ablation_ilp.py`` and ``tests/test_ilp.py``).
+
+Approach
+--------
+With integer WCETs there always exists an optimal schedule whose start times
+are integers: repeatedly left-shifting every node of an optimal schedule to
+the earliest instant allowed by its predecessors and by the resource capacity
+terminates with every start time equal to a sum of WCETs.  The solver
+therefore performs a depth-first search over *integer start-time assignments*
+processed in topological order:
+
+* a node may start at any integer time between the completion of its latest
+  predecessor and ``incumbent - bottom_level(node)``;
+* host nodes are checked against the host-core capacity ``m``, the offloaded
+  node against the accelerator capacity;
+* branches whose optimistic completion (current makespan, remaining
+  critical path, remaining host load) cannot beat the incumbent are pruned;
+* the incumbent is initialised with a list-schedule makespan, which is also
+  returned if it happens to be optimal.
+
+The search is exponential; it is intended for the *small task* sizes the
+paper uses in its ILP comparison (and, in this reproduction, mainly as an
+independent check of the HiGHS results on tiny instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.exceptions import SolverError
+from ..core.graph import NodeId
+from ..core.task import DagTask
+from .bounds import list_schedule_upper_bound, makespan_lower_bound
+
+__all__ = ["BranchAndBoundResult", "branch_and_bound_makespan"]
+
+#: Hard limit on the number of non-zero-WCET nodes the search will accept.
+_MAX_NODES = 20
+
+
+@dataclass
+class BranchAndBoundResult:
+    """Outcome of the branch-and-bound search.
+
+    Attributes
+    ----------
+    makespan:
+        The minimum makespan (equal to the incumbent when the search was
+        truncated by ``state_limit``; see ``optimal``).
+    start_times:
+        A start-time assignment achieving ``makespan``.
+    explored_states:
+        Number of partial assignments visited.
+    optimal:
+        ``True`` when the search ran to completion, i.e. the result is the
+        proven optimum.
+    """
+
+    makespan: float
+    start_times: dict[NodeId, float]
+    explored_states: int
+    optimal: bool
+
+    def __float__(self) -> float:
+        return float(self.makespan)
+
+
+def branch_and_bound_makespan(
+    task: DagTask,
+    cores: int,
+    accelerators: int = 1,
+    state_limit: int = 5_000_000,
+) -> BranchAndBoundResult:
+    """Exact minimum makespan of a (small) heterogeneous DAG task.
+
+    Parameters
+    ----------
+    task:
+        The task to schedule; WCETs must be integers.
+    cores:
+        Number of identical host cores ``m``.
+    accelerators:
+        Number of accelerator devices; ``0`` forces the offloaded node (if
+        any) onto the host.
+    state_limit:
+        Safety cap on the number of explored partial assignments; when hit,
+        the best incumbent is returned with ``optimal=False``.
+
+    Raises
+    ------
+    SolverError
+        If the task has more than 20 non-trivial nodes or fractional WCETs.
+    """
+    graph = task.graph
+    graph.check_acyclic()
+    if cores < 1:
+        raise SolverError(f"cores must be >= 1, got {cores}")
+    nodes = graph.topological_order()
+    for node in nodes:
+        wcet = graph.wcet(node)
+        if abs(wcet - round(wcet)) > 1e-9:
+            raise SolverError(
+                f"branch-and-bound requires integer WCETs; node {node!r} has {wcet}"
+            )
+    busy_nodes = [node for node in nodes if graph.wcet(node) > 0]
+    if len(busy_nodes) > _MAX_NODES:
+        raise SolverError(
+            f"branch-and-bound is limited to {_MAX_NODES} non-trivial nodes, "
+            f"task has {len(busy_nodes)}; use the ILP solver instead"
+        )
+
+    offloaded: Optional[NodeId] = task.offloaded_node if accelerators > 0 else None
+    wcet = {node: int(round(graph.wcet(node))) for node in nodes}
+    predecessors = {node: graph.predecessors(node) for node in nodes}
+    tail = graph.longest_tail_lengths()
+    total_host_work = sum(wcet[node] for node in nodes if node != offloaded)
+
+    incumbent = int(round(list_schedule_upper_bound(task, cores, accelerators)))
+    incumbent_starts = _list_schedule_starts(task, cores, accelerators)
+    global_lower = makespan_lower_bound(task, cores, accelerators)
+
+    explored = 0
+    truncated = False
+
+    starts: dict[NodeId, int] = {}
+    # Busy intervals committed so far, per resource class.
+    host_intervals: list[tuple[int, int]] = []
+    accel_intervals: list[tuple[int, int]] = []
+
+    def capacity_ok(
+        intervals: list[tuple[int, int]], start: int, end: int, capacity: int
+    ) -> bool:
+        """Can an interval [start, end) be added while respecting capacity?"""
+        if start == end:
+            return True
+        points = sorted(
+            {start}
+            | {s for s, e in intervals if start < s < end}
+        )
+        for point in points:
+            overlap = sum(1 for s, e in intervals if s <= point < e)
+            if overlap + 1 > capacity:
+                return False
+        return True
+
+    def dfs(index: int, current_makespan: int, scheduled_host_work: int) -> None:
+        nonlocal incumbent, incumbent_starts, explored, truncated
+        if truncated:
+            return
+        explored += 1
+        if explored > state_limit:
+            truncated = True
+            return
+        if index == len(nodes):
+            if current_makespan < incumbent:
+                incumbent = current_makespan
+                incumbent_starts = {node: float(starts[node]) for node in nodes}
+            return
+        # Optimistic completion of what remains.
+        remaining_host = total_host_work - scheduled_host_work
+        load_bound = current_makespan if cores == 0 else remaining_host / cores
+        if max(current_makespan, load_bound, global_lower) >= incumbent:
+            return
+
+        node = nodes[index]
+        duration = wcet[node]
+        ready = max(
+            (starts[p] + wcet[p] for p in predecessors[node]), default=0
+        )
+        # A node may never start so late that even a perfect continuation
+        # fails to beat the incumbent: start + tail(node) <= incumbent - 1.
+        latest_start = incumbent - 1 - int(tail[node])
+        if duration == 0:
+            # Zero-WCET nodes (sync / dummy) are placed at their ready time;
+            # delaying them can never help any successor.
+            candidate_range = [ready] if ready <= latest_start else []
+        else:
+            candidate_range = range(ready, latest_start + 1)
+
+        for start in candidate_range:
+            end = start + duration
+            if duration > 0:
+                if node == offloaded:
+                    if not capacity_ok(accel_intervals, start, end, accelerators):
+                        continue
+                    accel_intervals.append((start, end))
+                else:
+                    if not capacity_ok(host_intervals, start, end, cores):
+                        continue
+                    host_intervals.append((start, end))
+            starts[node] = start
+            dfs(
+                index + 1,
+                max(current_makespan, end),
+                scheduled_host_work + (duration if node != offloaded else 0),
+            )
+            del starts[node]
+            if duration > 0:
+                if node == offloaded:
+                    accel_intervals.pop()
+                else:
+                    host_intervals.pop()
+            if truncated:
+                return
+
+    dfs(0, 0, 0)
+
+    return BranchAndBoundResult(
+        makespan=float(incumbent),
+        start_times=incumbent_starts,
+        explored_states=explored,
+        optimal=not truncated,
+    )
+
+
+def _list_schedule_starts(
+    task: DagTask, cores: int, accelerators: int
+) -> dict[NodeId, float]:
+    """Start times of a critical-path-first list schedule (initial incumbent)."""
+    from ..simulation.engine import simulate
+    from ..simulation.platform import Platform
+    from ..simulation.schedulers import CriticalPathFirstPolicy
+
+    platform = Platform(host_cores=cores, accelerators=max(accelerators, 1))
+    trace = simulate(
+        task,
+        platform,
+        CriticalPathFirstPolicy(),
+        offload_enabled=task.is_heterogeneous and accelerators > 0,
+    )
+    return {record.node: record.start for record in trace.executions}

@@ -1,0 +1,156 @@
+"""Unified minimum-makespan interface.
+
+Experiments (Figure 7) need "the minimum makespan of this task on ``m`` cores
+plus one accelerator" without caring which engine computed it.
+:func:`minimum_makespan` dispatches between the HiGHS time-indexed ILP and
+the exact branch-and-bound search and returns a homogeneous result object,
+including a validation step that replays the produced start times as a
+schedule and checks their legality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.exceptions import SolverError
+from ..core.graph import NodeId
+from ..core.task import DagTask
+from .bounds import makespan_lower_bound
+from .branch_and_bound import branch_and_bound_makespan
+from .solver import solve_minimum_makespan
+
+__all__ = ["MakespanMethod", "MakespanResult", "minimum_makespan", "verify_schedule"]
+
+
+class MakespanMethod(enum.Enum):
+    """Which optimal-makespan engine to use."""
+
+    ILP = "ilp"
+    BRANCH_AND_BOUND = "bnb"
+    #: ILP for anything but tiny tasks, branch-and-bound for <= 12 nodes.
+    AUTO = "auto"
+
+
+@dataclass
+class MakespanResult:
+    """Minimum makespan of a task together with a witnessing schedule."""
+
+    makespan: float
+    start_times: dict[NodeId, float]
+    method: MakespanMethod
+    optimal: bool
+    cores: int
+    accelerators: int
+
+    def __float__(self) -> float:
+        return float(self.makespan)
+
+
+def verify_schedule(
+    task: DagTask,
+    start_times: dict[NodeId, float],
+    cores: int,
+    accelerators: int = 1,
+) -> None:
+    """Check that a start-time assignment is a legal heterogeneous schedule.
+
+    Raises
+    ------
+    SolverError
+        On missing nodes, precedence violations or capacity violations.
+    """
+    graph = task.graph
+    missing = set(graph.nodes()) - set(start_times)
+    if missing:
+        raise SolverError(f"schedule misses nodes {sorted(map(repr, missing))}")
+    for src, dst in graph.edges():
+        if start_times[dst] + 1e-9 < start_times[src] + graph.wcet(src):
+            raise SolverError(
+                f"precedence ({src!r}, {dst!r}) violated in schedule"
+            )
+    offloaded = task.offloaded_node if accelerators > 0 else None
+
+    def check_capacity(node_ids: list[NodeId], capacity: int, label: str) -> None:
+        intervals = [
+            (start_times[node], start_times[node] + graph.wcet(node))
+            for node in node_ids
+            if graph.wcet(node) > 0
+        ]
+        boundaries = sorted({start for start, _ in intervals})
+        for point in boundaries:
+            overlap = sum(1 for start, end in intervals if start <= point < end)
+            if overlap > capacity:
+                raise SolverError(
+                    f"{label} capacity {capacity} exceeded at time {point}"
+                )
+
+    check_capacity(
+        [node for node in graph.nodes() if node != offloaded], cores, "host"
+    )
+    if offloaded is not None:
+        check_capacity([offloaded], max(accelerators, 1), "accelerator")
+
+
+def minimum_makespan(
+    task: DagTask,
+    cores: int,
+    accelerators: int = 1,
+    method: MakespanMethod = MakespanMethod.AUTO,
+    time_limit: Optional[float] = None,
+    mip_gap: float = 0.0,
+) -> MakespanResult:
+    """Minimum makespan of a heterogeneous DAG task on ``m`` cores + device.
+
+    Parameters
+    ----------
+    task:
+        The task (integer WCETs required).
+    cores:
+        Number of identical host cores ``m``.
+    accelerators:
+        Number of accelerator devices.
+    method:
+        ``ILP`` (HiGHS), ``BRANCH_AND_BOUND`` or ``AUTO``.
+    time_limit, mip_gap:
+        Passed through to the ILP solver.  When a time limit truncates the
+        ILP the result may be sub-optimal; ``optimal`` reflects it.
+    """
+    if method is MakespanMethod.AUTO:
+        busy = sum(1 for node in task.graph.nodes() if task.graph.wcet(node) > 0)
+        method = (
+            MakespanMethod.BRANCH_AND_BOUND if busy <= 12 else MakespanMethod.ILP
+        )
+
+    if method is MakespanMethod.BRANCH_AND_BOUND:
+        result = branch_and_bound_makespan(task, cores, accelerators)
+        makespan = result.makespan
+        starts = result.start_times
+        optimal = result.optimal
+    else:
+        solution = solve_minimum_makespan(
+            task,
+            cores,
+            accelerators,
+            time_limit=time_limit,
+            mip_gap=mip_gap,
+        )
+        makespan = solution.makespan
+        starts = solution.start_times
+        optimal = solution.optimal
+
+    verify_schedule(task, starts, cores, accelerators)
+    lower = makespan_lower_bound(task, cores, accelerators)
+    if makespan < lower - 1e-6:
+        raise SolverError(
+            f"solver returned makespan {makespan} below the lower bound {lower}"
+        )
+    return MakespanResult(
+        makespan=float(makespan),
+        start_times=starts,
+        method=method,
+        optimal=optimal,
+        cores=cores,
+        accelerators=accelerators,
+    )

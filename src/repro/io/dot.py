@@ -1,0 +1,129 @@
+"""Graphviz DOT export / import of heterogeneous DAG tasks.
+
+The DOT exporter makes the transformation visually inspectable (the paper's
+Figures 1-4 are exactly such drawings): the offloaded node is drawn as a grey
+box, the synchronisation node as a red square and the ``G_par`` nodes (when a
+:class:`~repro.core.transformation.TransformedTask` is exported) with a blue
+border.  The importer supports the subset of DOT that the exporter emits plus
+hand-written files using ``label="name (wcet)"`` or ``wcet=<value>``
+attributes, which is sufficient for round-tripping and for authoring small
+examples by hand.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.exceptions import SerializationError
+from ..core.task import DagTask
+from ..core.transformation import TransformedTask
+
+__all__ = ["task_to_dot", "transformed_to_dot", "task_from_dot", "save_dot", "load_dot"]
+
+
+def _quote(identifier: object) -> str:
+    return '"' + str(identifier).replace('"', r"\"") + '"'
+
+
+def task_to_dot(task: DagTask, graph_name: str = "task") -> str:
+    """Render a task as a Graphviz ``digraph`` document."""
+    lines = [f"digraph {_quote(graph_name)} {{", "  rankdir=LR;"]
+    for node in task.graph.nodes():
+        wcet = task.graph.wcet(node)
+        attributes = [f'label="{node} ({wcet:g})"', f"wcet={wcet:g}"]
+        if node == task.offloaded_node:
+            attributes += ["shape=box", "style=filled", "fillcolor=lightgrey", "offloaded=true"]
+        lines.append(f"  {_quote(node)} [{', '.join(attributes)}];")
+    for src, dst in task.graph.edges():
+        lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def transformed_to_dot(transformed: TransformedTask, graph_name: str = "task_prime") -> str:
+    """Render a transformed task, highlighting ``v_sync`` and ``G_par``."""
+    task = transformed.task
+    gpar = transformed.gpar_nodes
+    lines = [f"digraph {_quote(graph_name)} {{", "  rankdir=LR;"]
+    for node in task.graph.nodes():
+        wcet = task.graph.wcet(node)
+        attributes = [f'label="{node} ({wcet:g})"', f"wcet={wcet:g}"]
+        if node == task.offloaded_node:
+            attributes += ["shape=box", "style=filled", "fillcolor=lightgrey"]
+        elif node == transformed.sync_node:
+            attributes += ["shape=square", "style=filled", "fillcolor=indianred"]
+        elif node in gpar:
+            attributes += ["color=blue", "penwidth=2"]
+        lines.append(f"  {_quote(node)} [{', '.join(attributes)}];")
+    for src, dst in task.graph.edges():
+        style = ""
+        if (src, dst) not in transformed.original.graph.edges():
+            style = " [color=darkgreen]"
+        lines.append(f"  {_quote(src)} -> {_quote(dst)}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_NODE_PATTERN = re.compile(
+    r'^\s*"?(?P<name>[\w.\-]+)"?\s*\[(?P<attrs>[^\]]*)\]\s*;?\s*$'
+)
+_EDGE_PATTERN = re.compile(
+    r'^\s*"?(?P<src>[\w.\-]+)"?\s*->\s*"?(?P<dst>[\w.\-]+)"?\s*(\[[^\]]*\])?\s*;?\s*$'
+)
+_WCET_PATTERN = re.compile(r"wcet\s*=\s*(?P<value>[0-9.]+)")
+_LABEL_WCET_PATTERN = re.compile(r'label\s*=\s*"[^"(]*\(\s*(?P<value>[0-9.]+)\s*\)"')
+_OFFLOADED_PATTERN = re.compile(r"offloaded\s*=\s*true", re.IGNORECASE)
+
+
+def task_from_dot(document: str, name: str = "tau") -> DagTask:
+    """Parse a task from the DOT subset produced by :func:`task_to_dot`.
+
+    Node WCETs are taken from a ``wcet=<value>`` attribute or, failing that,
+    from a ``label="... (<value>)"`` suffix; nodes without either get WCET 0.
+    A node carrying ``offloaded=true`` (or filled light-grey by the exporter)
+    becomes the offloaded node.
+    """
+    wcets: dict[str, float] = {}
+    edges: list[tuple[str, str]] = []
+    offloaded: Optional[str] = None
+    for raw_line in document.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("digraph", "{", "}", "//", "#", "rankdir")):
+            continue
+        edge_match = _EDGE_PATTERN.match(line)
+        if edge_match:
+            src, dst = edge_match.group("src"), edge_match.group("dst")
+            wcets.setdefault(src, 0.0)
+            wcets.setdefault(dst, 0.0)
+            edges.append((src, dst))
+            continue
+        node_match = _NODE_PATTERN.match(line)
+        if node_match:
+            node = node_match.group("name")
+            attrs = node_match.group("attrs")
+            wcet_match = _WCET_PATTERN.search(attrs) or _LABEL_WCET_PATTERN.search(attrs)
+            wcets[node] = float(wcet_match.group("value")) if wcet_match else 0.0
+            if _OFFLOADED_PATTERN.search(attrs) or "fillcolor=lightgrey" in attrs:
+                offloaded = node
+            continue
+        raise SerializationError(f"cannot parse DOT line: {raw_line!r}")
+    if not wcets:
+        raise SerializationError("DOT document contains no nodes")
+    return DagTask.from_wcets(wcets, edges, offloaded_node=offloaded, name=name)
+
+
+def save_dot(task: Union[DagTask, TransformedTask], path: Union[str, Path]) -> Path:
+    """Write a task (or transformed task) to a ``.dot`` file."""
+    destination = Path(path)
+    if isinstance(task, TransformedTask):
+        destination.write_text(transformed_to_dot(task), encoding="utf-8")
+    else:
+        destination.write_text(task_to_dot(task), encoding="utf-8")
+    return destination
+
+
+def load_dot(path: Union[str, Path], name: str = "tau") -> DagTask:
+    """Read a task from a ``.dot`` file."""
+    return task_from_dot(Path(path).read_text(encoding="utf-8"), name=name)

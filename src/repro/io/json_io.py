@@ -1,0 +1,152 @@
+"""JSON (de)serialisation of heterogeneous DAG tasks and task sets.
+
+The on-disk format is deliberately simple and explicit so that tasks can be
+authored by hand, produced by external tools (e.g. a compiler pass extracting
+an OpenMP task graph, as reference [22] of the paper does), or exchanged
+between runs of the experiment harness::
+
+    {
+      "name": "tau",
+      "period": 100,
+      "deadline": 80,
+      "offloaded_node": "v_off",
+      "nodes": {"v1": 1, "v2": 4, "v_off": 4},
+      "edges": [["v1", "v2"], ["v2", "v_off"]]
+    }
+
+Task sets are stored as ``{"name": ..., "tasks": [<task>, ...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.exceptions import SerializationError
+from ..core.task import DagTask, TaskSet
+
+__all__ = [
+    "task_to_dict",
+    "task_from_dict",
+    "task_to_json",
+    "task_from_json",
+    "save_task",
+    "load_task",
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "save_taskset",
+    "load_taskset",
+]
+
+
+def task_to_dict(task: DagTask) -> dict:
+    """Convert a task to a JSON-serialisable dictionary."""
+    return {
+        "name": task.name,
+        "period": task.period,
+        "deadline": task.deadline,
+        "offloaded_node": task.offloaded_node,
+        "nodes": {str(node): task.graph.wcet(node) for node in task.graph.nodes()},
+        "edges": [[str(src), str(dst)] for src, dst in task.graph.edges()],
+        "metadata": dict(task.metadata),
+    }
+
+
+def task_from_dict(data: dict) -> DagTask:
+    """Inverse of :func:`task_to_dict`.
+
+    Raises
+    ------
+    SerializationError
+        If mandatory keys are missing or edges reference unknown nodes.
+    """
+    if "nodes" not in data:
+        raise SerializationError("task document is missing the 'nodes' mapping")
+    try:
+        nodes = {str(node): float(wcet) for node, wcet in data["nodes"].items()}
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid node mapping: {error}") from error
+    edges = []
+    for edge in data.get("edges", []):
+        if len(edge) != 2:
+            raise SerializationError(f"invalid edge entry {edge!r}")
+        src, dst = str(edge[0]), str(edge[1])
+        if src not in nodes or dst not in nodes:
+            raise SerializationError(f"edge {edge!r} references an unknown node")
+        edges.append((src, dst))
+    offloaded = data.get("offloaded_node")
+    if offloaded is not None:
+        offloaded = str(offloaded)
+        if offloaded not in nodes:
+            raise SerializationError(
+                f"offloaded node {offloaded!r} is not part of the node mapping"
+            )
+    try:
+        task = DagTask.from_wcets(
+            nodes,
+            edges,
+            offloaded_node=offloaded,
+            period=data.get("period"),
+            deadline=data.get("deadline"),
+            name=str(data.get("name", "tau")),
+        )
+    except Exception as error:  # noqa: BLE001 - wrap as serialisation problem
+        raise SerializationError(f"cannot build task from document: {error}") from error
+    task.metadata.update(data.get("metadata", {}))
+    return task
+
+
+def task_to_json(task: DagTask, indent: int = 2) -> str:
+    """Serialise a task to a JSON string."""
+    return json.dumps(task_to_dict(task), indent=indent)
+
+
+def task_from_json(document: str) -> DagTask:
+    """Parse a task from a JSON string."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return task_from_dict(data)
+
+
+def save_task(task: DagTask, path: Union[str, Path]) -> Path:
+    """Write a task to a JSON file and return the path."""
+    destination = Path(path)
+    destination.write_text(task_to_json(task) + "\n", encoding="utf-8")
+    return destination
+
+
+def load_task(path: Union[str, Path]) -> DagTask:
+    """Read a task from a JSON file."""
+    return task_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def taskset_to_dict(tasks: TaskSet) -> dict:
+    """Convert a task set to a JSON-serialisable dictionary."""
+    return {"name": tasks.name, "tasks": [task_to_dict(task) for task in tasks]}
+
+
+def taskset_from_dict(data: dict) -> TaskSet:
+    """Inverse of :func:`taskset_to_dict`."""
+    tasks = [task_from_dict(entry) for entry in data.get("tasks", [])]
+    return TaskSet(tasks=tasks, name=str(data.get("name", "taskset")))
+
+
+def save_taskset(tasks: TaskSet, path: Union[str, Path]) -> Path:
+    """Write a task set to a JSON file and return the path."""
+    destination = Path(path)
+    destination.write_text(
+        json.dumps(taskset_to_dict(tasks), indent=2) + "\n", encoding="utf-8"
+    )
+    return destination
+
+
+def load_taskset(path: Union[str, Path]) -> TaskSet:
+    """Read a task set from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    return taskset_from_dict(data)

@@ -1,0 +1,55 @@
+"""Heterogeneous scheduling simulator (the paper's Section 5.2 methodology).
+
+* :mod:`repro.simulation.platform` -- host + accelerator platform model;
+* :mod:`repro.simulation.schedulers` -- work-conserving ready-queue policies,
+  including the GOMP-style breadth-first policy used by the paper;
+* :mod:`repro.simulation.engine` -- the discrete-event list scheduler;
+* :mod:`repro.simulation.trace` -- execution traces with legality validation;
+* :mod:`repro.simulation.worst_case` -- exhaustive / randomised worst-case
+  makespan search over work-conserving schedules;
+* :mod:`repro.simulation.metrics` -- aggregate statistics over trace batches.
+"""
+
+from .engine import simulate, simulate_makespan
+from .metrics import TraceStatistics, average_makespan, speedup, summarise_traces
+from .platform import ACCELERATOR, HOST, INSTANT, Platform
+from .schedulers import (
+    BreadthFirstPolicy,
+    CriticalPathFirstPolicy,
+    DepthFirstPolicy,
+    FixedPriorityPolicy,
+    LongestFirstPolicy,
+    RandomPolicy,
+    SchedulingPolicy,
+    ShortestFirstPolicy,
+    policy_by_name,
+)
+from .trace import ExecutionTrace, NodeExecution
+from .worst_case import WorstCaseResult, exhaustive_worst_case, randomised_worst_case
+
+__all__ = [
+    "Platform",
+    "HOST",
+    "ACCELERATOR",
+    "INSTANT",
+    "simulate",
+    "simulate_makespan",
+    "ExecutionTrace",
+    "NodeExecution",
+    "SchedulingPolicy",
+    "BreadthFirstPolicy",
+    "DepthFirstPolicy",
+    "CriticalPathFirstPolicy",
+    "ShortestFirstPolicy",
+    "LongestFirstPolicy",
+    "RandomPolicy",
+    "FixedPriorityPolicy",
+    "policy_by_name",
+    "WorstCaseResult",
+    "exhaustive_worst_case",
+    "randomised_worst_case",
+    "TraceStatistics",
+    "summarise_traces",
+    "average_makespan",
+    "speedup",
+]

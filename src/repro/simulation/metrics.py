@@ -1,0 +1,101 @@
+"""Aggregate metrics over simulation traces.
+
+The evaluation of the paper reports *average* execution times over batches of
+random DAGs (Figure 6) and derived quantities such as percentage changes.
+This module provides small, well-tested helpers to aggregate traces so that
+experiment drivers do not re-implement statistics ad hoc.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .trace import ExecutionTrace
+
+__all__ = ["TraceStatistics", "summarise_traces", "speedup", "average_makespan"]
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of a batch of execution traces."""
+
+    count: int
+    mean_makespan: float
+    median_makespan: float
+    min_makespan: float
+    max_makespan: float
+    stdev_makespan: float
+    mean_host_utilisation: float
+    mean_accelerator_utilisation: float
+    mean_host_idle_while_accelerator_busy: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a flat dictionary (CSV/table friendly)."""
+        return {
+            "count": float(self.count),
+            "mean_makespan": self.mean_makespan,
+            "median_makespan": self.median_makespan,
+            "min_makespan": self.min_makespan,
+            "max_makespan": self.max_makespan,
+            "stdev_makespan": self.stdev_makespan,
+            "mean_host_utilisation": self.mean_host_utilisation,
+            "mean_accelerator_utilisation": self.mean_accelerator_utilisation,
+            "mean_host_idle_while_accelerator_busy": (
+                self.mean_host_idle_while_accelerator_busy
+            ),
+        }
+
+
+def summarise_traces(traces: Iterable[ExecutionTrace]) -> TraceStatistics:
+    """Aggregate a batch of traces into :class:`TraceStatistics`.
+
+    Raises
+    ------
+    ValueError
+        If the iterable is empty.
+    """
+    trace_list = list(traces)
+    if not trace_list:
+        raise ValueError("cannot summarise an empty batch of traces")
+    makespans = [trace.makespan() for trace in trace_list]
+    return TraceStatistics(
+        count=len(trace_list),
+        mean_makespan=statistics.fmean(makespans),
+        median_makespan=statistics.median(makespans),
+        min_makespan=min(makespans),
+        max_makespan=max(makespans),
+        stdev_makespan=statistics.pstdev(makespans) if len(makespans) > 1 else 0.0,
+        mean_host_utilisation=statistics.fmean(
+            trace.host_utilisation() for trace in trace_list
+        ),
+        mean_accelerator_utilisation=statistics.fmean(
+            trace.accelerator_utilisation() for trace in trace_list
+        ),
+        mean_host_idle_while_accelerator_busy=statistics.fmean(
+            trace.host_idle_while_accelerator_busy() for trace in trace_list
+        ),
+    )
+
+
+def average_makespan(traces: Iterable[ExecutionTrace]) -> float:
+    """Mean makespan of a batch of traces."""
+    makespans = [trace.makespan() for trace in traces]
+    if not makespans:
+        raise ValueError("cannot average an empty batch of traces")
+    return statistics.fmean(makespans)
+
+
+def speedup(baseline_makespans: Sequence[float], improved_makespans: Sequence[float]) -> float:
+    """Mean baseline makespan divided by mean improved makespan.
+
+    Values greater than one mean the "improved" schedules are faster on
+    average.
+    """
+    if not baseline_makespans or not improved_makespans:
+        raise ValueError("speedup requires non-empty makespan sequences")
+    improved_mean = statistics.fmean(improved_makespans)
+    if improved_mean == 0:
+        raise ZeroDivisionError("improved makespans have a zero mean")
+    return statistics.fmean(baseline_makespans) / improved_mean

@@ -1,0 +1,62 @@
+"""Description of the simulated heterogeneous platform.
+
+The system model of the paper considers "a host processor with ``m``
+identical cores and a single accelerator device".  :class:`Platform` captures
+exactly that, with the accelerator count kept configurable because the
+paper's future-work section (and :mod:`repro.extensions.multi_device`)
+considers several devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["Platform", "HOST", "ACCELERATOR", "INSTANT"]
+
+#: Resource-kind label for host cores in execution traces.
+HOST = "host"
+#: Resource-kind label for accelerator devices in execution traces.
+ACCELERATOR = "accelerator"
+#: Resource-kind label for zero-WCET nodes, which occupy no resource.
+INSTANT = "instant"
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A heterogeneous platform with ``host_cores`` cores and accelerators.
+
+    Attributes
+    ----------
+    host_cores:
+        Number ``m`` of identical host cores.
+    accelerators:
+        Number of accelerator devices; the paper's model uses exactly one.
+    """
+
+    host_cores: int
+    accelerators: int = 1
+
+    def __post_init__(self) -> None:
+        if self.host_cores < 1:
+            raise SimulationError(
+                f"platform needs at least one host core, got {self.host_cores}"
+            )
+        if self.accelerators < 0:
+            raise SimulationError(
+                f"accelerator count cannot be negative, got {self.accelerators}"
+            )
+
+    @property
+    def total_processors(self) -> int:
+        """Host cores plus accelerator devices."""
+        return self.host_cores + self.accelerators
+
+    def host_core_names(self) -> list[str]:
+        """Stable identifiers of the host cores (``core0``, ``core1``, ...)."""
+        return [f"core{i}" for i in range(self.host_cores)]
+
+    def accelerator_names(self) -> list[str]:
+        """Stable identifiers of the accelerators (``acc0``, ...)."""
+        return [f"acc{i}" for i in range(self.accelerators)]

@@ -1,0 +1,203 @@
+"""Work-conserving ready-queue ordering policies.
+
+The simulator is a list scheduler: whenever a host core (or the accelerator)
+is free and at least one compatible node is ready, a node is started
+immediately -- this is what makes every policy *work-conserving*, the only
+assumption required by both Equation 1 and Theorem 1.  Policies only decide
+the *order* in which ready nodes are picked.
+
+The paper's Section 5.2 simulates "the work-conserving breadth-first
+scheduler implemented in GOMP, the OpenMP implementation in GCC":
+:class:`BreadthFirstPolicy` reproduces it (a FIFO ready queue -- tasks are
+executed in the order in which they became ready, ties broken by node
+creation order, which corresponds to the order in which an OpenMP program
+creates the tasks).  Alternative policies are provided for the scheduler
+ablation study (``benchmarks/bench_ablation_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..core.graph import DirectedAcyclicGraph, NodeId
+
+__all__ = [
+    "SchedulingPolicy",
+    "BreadthFirstPolicy",
+    "DepthFirstPolicy",
+    "CriticalPathFirstPolicy",
+    "ShortestFirstPolicy",
+    "LongestFirstPolicy",
+    "RandomPolicy",
+    "FixedPriorityPolicy",
+    "policy_by_name",
+]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Interface of a ready-queue ordering policy.
+
+    The simulator calls :meth:`prepare` once per simulation with the graph
+    being scheduled, then :meth:`priority` for every node when it becomes
+    ready.  Nodes with *smaller* priority tuples are started first.
+    """
+
+    #: Human-readable policy name used in traces and experiment reports.
+    name: str = "policy"
+
+    def prepare(self, graph: DirectedAcyclicGraph) -> None:
+        """Pre-compute per-graph data (called once before the simulation)."""
+
+    @abc.abstractmethod
+    def priority(
+        self, node: NodeId, ready_time: float, arrival_index: int
+    ) -> tuple:
+        """Return the sort key of a node that just became ready.
+
+        Parameters
+        ----------
+        node:
+            The ready node.
+        ready_time:
+            Time at which its last predecessor completed.
+        arrival_index:
+            Monotonically increasing counter of ready-queue insertions; using
+            it as a final tie-breaker makes every policy deterministic.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class BreadthFirstPolicy(SchedulingPolicy):
+    """FIFO ready queue: the GOMP-style breadth-first scheduler of the paper.
+
+    Nodes are executed in the order in which they became ready; among nodes
+    that become ready simultaneously, the node created first (smaller
+    insertion index in the DAG) goes first.
+    """
+
+    name = "breadth-first"
+
+    def prepare(self, graph: DirectedAcyclicGraph) -> None:
+        self._creation_order = {node: index for index, node in enumerate(graph.nodes())}
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (ready_time, self._creation_order.get(node, 0), arrival_index)
+
+
+class DepthFirstPolicy(SchedulingPolicy):
+    """LIFO ready queue: most recently readied node first.
+
+    This approximates the behaviour of depth-first (work-first) OpenMP
+    runtimes; it is the natural counterpart of the breadth-first policy for
+    the scheduler ablation.
+    """
+
+    name = "depth-first"
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (-arrival_index,)
+
+
+class CriticalPathFirstPolicy(SchedulingPolicy):
+    """Largest bottom-level first (classical HLFET list scheduling).
+
+    The bottom level of a node is the length of the longest path from the
+    node (inclusive) to the sink; prioritising large bottom levels keeps the
+    critical path moving and is a common makespan-oriented heuristic.
+    """
+
+    name = "critical-path-first"
+
+    def prepare(self, graph: DirectedAcyclicGraph) -> None:
+        self._bottom_level = graph.longest_tail_lengths()
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (-self._bottom_level.get(node, 0.0), arrival_index)
+
+
+class ShortestFirstPolicy(SchedulingPolicy):
+    """Smallest WCET first (SJF-like, tends to increase the makespan)."""
+
+    name = "shortest-first"
+
+    def prepare(self, graph: DirectedAcyclicGraph) -> None:
+        self._wcet = graph.wcets()
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (self._wcet.get(node, 0.0), arrival_index)
+
+
+class LongestFirstPolicy(SchedulingPolicy):
+    """Largest WCET first (LPT-like)."""
+
+    name = "longest-first"
+
+    def prepare(self, graph: DirectedAcyclicGraph) -> None:
+        self._wcet = graph.wcets()
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (-self._wcet.get(node, 0.0), arrival_index)
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random ready-queue order (seeded, hence reproducible).
+
+    Useful for estimating the spread of work-conserving schedules and for the
+    randomised worst-case search of
+    :mod:`repro.simulation.worst_case`.
+    """
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        self._rng = np.random.default_rng(rng)
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (float(self._rng.random()), arrival_index)
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Explicit per-node priorities (smaller value = higher priority).
+
+    The exhaustive worst-case search enumerates permutations of node
+    priorities through this policy.
+    """
+
+    name = "fixed-priority"
+
+    def __init__(self, priorities: dict[NodeId, float]) -> None:
+        self._priorities = dict(priorities)
+
+    def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (self._priorities.get(node, float("inf")), arrival_index)
+
+
+_POLICIES: dict[str, type[SchedulingPolicy]] = {
+    BreadthFirstPolicy.name: BreadthFirstPolicy,
+    DepthFirstPolicy.name: DepthFirstPolicy,
+    CriticalPathFirstPolicy.name: CriticalPathFirstPolicy,
+    ShortestFirstPolicy.name: ShortestFirstPolicy,
+    LongestFirstPolicy.name: LongestFirstPolicy,
+    RandomPolicy.name: RandomPolicy,
+}
+
+
+def policy_by_name(name: str, rng: Optional[int] = None) -> SchedulingPolicy:
+    """Instantiate a policy from its short name.
+
+    Valid names: ``breadth-first``, ``depth-first``, ``critical-path-first``,
+    ``shortest-first``, ``longest-first``, ``random``.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"unknown policy {name!r}; valid policies: {valid}") from None
+    if cls is RandomPolicy:
+        return RandomPolicy(rng)
+    return cls()

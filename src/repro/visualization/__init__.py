@@ -1,0 +1,5 @@
+"""Terminal-friendly visualisation helpers (no plotting dependencies)."""
+
+from .ascii_art import describe_task, describe_transformation, render_gantt
+
+__all__ = ["describe_task", "describe_transformation", "render_gantt"]

@@ -1,0 +1,122 @@
+"""Plain-text visualisation of tasks, transformations and schedules.
+
+The original paper communicates its ideas through small drawings (the DAGs of
+Figures 1-4 and the Gantt charts of Figures 1(b)(c), 2(b) and 5).  This
+module renders the same artefacts as ASCII so they can be inspected in a
+terminal, embedded in test failure messages and printed by the example
+scripts -- no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import NodeId
+from ..core.task import DagTask
+from ..core.transformation import TransformedTask
+from ..simulation.platform import ACCELERATOR, HOST, INSTANT
+from ..simulation.trace import ExecutionTrace
+
+__all__ = ["describe_task", "describe_transformation", "render_gantt"]
+
+
+def describe_task(task: DagTask) -> str:
+    """Return a multi-line textual description of a DAG task.
+
+    Nodes are listed in topological order with their WCETs, predecessors and
+    an ``[offloaded]`` marker; the summary line reports ``vol``, ``len`` and
+    the critical path.
+    """
+    graph = task.graph
+    lines = [
+        f"task {task.name!r}: {graph.node_count} nodes, {graph.edge_count} edges",
+        f"  vol(G) = {graph.volume():g}   len(G) = {graph.critical_path_length():g}"
+        f"   critical path = {' -> '.join(map(str, graph.critical_path()))}",
+    ]
+    if task.is_heterogeneous:
+        lines.append(
+            f"  offloaded node = {task.offloaded_node} "
+            f"(C_off = {task.offloaded_wcet:g}, "
+            f"{100 * task.offloaded_fraction():.1f}% of the volume)"
+        )
+    if task.period is not None:
+        lines.append(f"  period T = {task.period:g}   deadline D = {task.deadline:g}")
+    lines.append("  nodes (topological order):")
+    for node in graph.topological_order():
+        predecessors = ", ".join(map(str, sorted(graph.predecessors(node), key=repr)))
+        marker = "  [offloaded]" if node == task.offloaded_node else ""
+        lines.append(
+            f"    {node}  C={graph.wcet(node):g}"
+            f"  preds=[{predecessors}]" + marker
+        )
+    return "\n".join(lines)
+
+
+def describe_transformation(transformed: TransformedTask) -> str:
+    """Summarise the effect of Algorithm 1 on a task."""
+    lines = [
+        f"transformation of task {transformed.original.name!r}:",
+        f"  sync node          = {transformed.sync_node}",
+        f"  direct predecessors of v_off = "
+        f"{sorted(map(str, transformed.direct_predecessors))}",
+        f"  |Pred(v_off)| = {len(transformed.predecessors)}   "
+        f"|Succ(v_off)| = {len(transformed.successors)}   "
+        f"|G_par| = {len(transformed.gpar_nodes)}",
+        f"  rerouted edges     = "
+        f"{[(str(a), str(b)) for a, b in transformed.rerouted_edges]}",
+        f"  len(G)  = {transformed.original.critical_path_length:g}   "
+        f"len(G') = {transformed.transformed_length():g}   "
+        f"(elongation {transformed.critical_path_elongation():+g})",
+        f"  vol(G_par) = {transformed.gpar_volume():g}   "
+        f"len(G_par) = {transformed.gpar_length():g}",
+        f"  v_off on critical path of G': "
+        f"{transformed.offloaded_on_critical_path()}",
+    ]
+    return "\n".join(lines)
+
+
+def render_gantt(trace: ExecutionTrace, width: int = 72) -> str:
+    """Render an execution trace as an ASCII Gantt chart.
+
+    One row per resource (host cores first, then accelerators); time is
+    scaled to ``width`` characters.  Zero-WCET (instant) nodes are listed
+    below the chart because they have no horizontal extent.
+    """
+    makespan = trace.makespan()
+    if makespan == 0:
+        return "(empty schedule)"
+    scale = width / makespan
+
+    def row_for(resource: str) -> str:
+        cells = [" "] * width
+        for record in sorted(trace.executions, key=lambda r: r.start):
+            if record.resource != resource or record.duration == 0:
+                continue
+            begin = int(round(record.start * scale))
+            end = max(begin + 1, int(round(record.finish * scale)))
+            label = str(record.node)
+            span = min(end, width) - begin
+            content = (label[: span - 1] + "|") if span > 1 else "#"
+            for offset, char in enumerate(content[:span]):
+                if 0 <= begin + offset < width:
+                    cells[begin + offset] = char
+        return "".join(cells)
+
+    resources = [
+        (name, HOST) for name in trace.platform.host_core_names()
+    ] + [(name, ACCELERATOR) for name in trace.platform.accelerator_names()]
+    label_width = max(len(name) for name, _ in resources) + 2
+    lines = [
+        f"schedule of {trace.task.name!r} under {trace.policy_name} "
+        f"(makespan = {makespan:g})"
+    ]
+    ruler = " " * label_width + "0" + " " * (width - len(f"{makespan:g}") - 1) + f"{makespan:g}"
+    lines.append(ruler)
+    for name, _kind in resources:
+        lines.append(f"{name:<{label_width}}{row_for(name)}")
+    instant_nodes = [
+        f"{record.node}@{record.start:g}"
+        for record in trace.executions
+        if record.resource_kind == INSTANT
+    ]
+    if instant_nodes:
+        lines.append(f"instant (zero-WCET) nodes: {', '.join(instant_nodes)}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Shared hypothesis strategies and random-task helpers for the test-suite.
+
+Most property tests need "an arbitrary heterogeneous DAG task that satisfies
+the system model".  Rather than building graphs edge by edge inside
+hypothesis (slow and rejection-heavy), the strategies draw *generator
+parameters and seeds* and delegate the construction to the library's own
+random generator -- whose structural guarantees (single source/sink, no
+transitive edges, acyclicity) are themselves verified by dedicated unit and
+property tests in ``tests/test_generator.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.core.task import DagTask
+from repro.generator.config import GeneratorConfig, OffloadConfig
+from repro.generator.offload import make_heterogeneous
+from repro.generator.random_dag import DagStructureGenerator
+
+__all__ = [
+    "small_task_parameters",
+    "host_tasks",
+    "heterogeneous_tasks",
+    "make_random_host_task",
+    "make_random_heterogeneous_task",
+]
+
+
+def make_random_host_task(
+    seed: int,
+    n_max: int = 40,
+    c_max: int = 20,
+    p_par: float = 0.6,
+    max_depth: int = 3,
+    n_par: int = 4,
+) -> DagTask:
+    """Deterministically build one random host-only task from a seed."""
+    config = GeneratorConfig(
+        p_par=p_par,
+        n_par=n_par,
+        max_depth=max_depth,
+        n_min=3,
+        n_max=n_max,
+        c_min=1,
+        c_max=c_max,
+    )
+    return DagStructureGenerator(config, np.random.default_rng(seed)).generate_task()
+
+
+def make_random_heterogeneous_task(
+    seed: int,
+    offload_fraction: float,
+    n_max: int = 40,
+    c_max: int = 20,
+) -> DagTask:
+    """Deterministically build one random heterogeneous task from a seed."""
+    task = make_random_host_task(seed, n_max=n_max, c_max=c_max)
+    return make_heterogeneous(
+        task,
+        OffloadConfig(),
+        np.random.default_rng(seed + 1),
+        target_fraction=offload_fraction,
+    )
+
+
+def make_random_integer_heterogeneous_task(
+    seed: int,
+    offload_fraction: float,
+    n_max: int = 40,
+    c_max: int = 20,
+) -> DagTask:
+    """Like :func:`make_random_heterogeneous_task` but with an integer C_off.
+
+    The exact solvers (ILP, branch-and-bound) require integer WCETs; pinning
+    an offload fraction generally produces a fractional ``C_off``, so it is
+    rounded (and floored at 1) here.
+    """
+    task = make_random_heterogeneous_task(seed, offload_fraction, n_max, c_max)
+    return task.with_offloaded_wcet(max(1.0, float(round(task.offloaded_wcet))))
+
+
+@st.composite
+def small_task_parameters(draw):
+    """Draw (seed, offload_fraction, cores) triples for property tests."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    fraction = draw(
+        st.floats(min_value=0.005, max_value=0.7, allow_nan=False, allow_infinity=False)
+    )
+    cores = draw(st.sampled_from([1, 2, 3, 4, 8, 16]))
+    return seed, fraction, cores
+
+
+@st.composite
+def host_tasks(draw) -> DagTask:
+    """Draw a random host-only task."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return make_random_host_task(seed)
+
+
+@st.composite
+def heterogeneous_tasks(draw) -> DagTask:
+    """Draw a random heterogeneous task with a pinned offload fraction."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    fraction = draw(st.floats(min_value=0.01, max_value=0.6, allow_nan=False))
+    return make_random_heterogeneous_task(seed, fraction)

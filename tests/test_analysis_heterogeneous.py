@@ -1,0 +1,215 @@
+"""Unit tests for Theorem 1 (:mod:`repro.analysis.heterogeneous`).
+
+The three execution scenarios are exercised with variants of the Figure 1
+task whose ``C_off`` values are chosen so that each scenario's preconditions
+hold and the expected bound can be computed by hand:
+
+* ``C_off = 4``  (the paper's value)  -> Scenario 1,
+* ``C_off = 7``                        -> Scenario 2.2,
+* ``C_off = 20``                       -> Scenario 2.1,
+* ``C_off = 8 = R_hom(G_par)``         -> boundary where Eqs. 3 and 4 agree.
+
+For the Figure 1 structure and ``m = 2``: ``G_par = {v2, v3}`` with
+``vol(G_par) = 10``, ``len(G_par) = 6`` and ``R_hom(G_par) = 8``;
+``len(G') = 1 + 2 + max(C_off, 6) + 1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.heterogeneous import (
+    analyse,
+    classify_scenario,
+    naive_unsafe_response_time,
+    response_time,
+)
+from repro.analysis.homogeneous import graph_response_time
+from repro.analysis.homogeneous import response_time as homogeneous_response_time
+from repro.analysis.results import ResponseTimeResult, Scenario
+from repro.core.examples import figure1_task
+from repro.core.exceptions import AnalysisError
+from repro.core.task import DagTask
+from repro.core.transformation import transform
+
+
+def figure1_with_offload(c_off: float) -> DagTask:
+    return figure1_task().with_offloaded_wcet(c_off)
+
+
+class TestScenarioClassification:
+    def test_scenario_1(self):
+        assert classify_scenario(figure1_with_offload(4), 2) is Scenario.SCENARIO_1
+
+    def test_scenario_2_2(self):
+        assert classify_scenario(figure1_with_offload(7), 2) is Scenario.SCENARIO_2_2
+
+    def test_scenario_2_1(self):
+        assert classify_scenario(figure1_with_offload(20), 2) is Scenario.SCENARIO_2_1
+
+    def test_boundary_counts_as_2_1(self):
+        # C_off == R_hom(G_par) == 8: Equations 3 and 4 coincide; the
+        # classifier reports 2.1 by convention.
+        assert classify_scenario(figure1_with_offload(8), 2) is Scenario.SCENARIO_2_1
+
+    def test_classification_depends_on_core_count(self):
+        # R_hom(G_par) = 6 + 4/m: with C_off = 7 the scenario flips from 2.2
+        # (m = 2, bound 8) to 2.1 (m = 4, bound 7).
+        task = figure1_with_offload(7)
+        assert classify_scenario(task, 2) is Scenario.SCENARIO_2_2
+        assert classify_scenario(task, 4) is Scenario.SCENARIO_2_1
+
+    def test_accepts_pre_transformed_input(self):
+        transformed = transform(figure1_task())
+        assert classify_scenario(transformed, 2) is Scenario.SCENARIO_1
+
+    def test_rejects_homogeneous_task(self):
+        task = DagTask.from_wcets({"a": 1, "b": 2}, [("a", "b")])
+        with pytest.raises(AnalysisError):
+            classify_scenario(task, 2)
+
+
+class TestTheoremOneValues:
+    def test_scenario_1_equation_2(self):
+        # len(G') = 10, vol = 18, C_off = 4:  10 + (18 - 10 - 4)/2 = 12.
+        result = response_time(figure1_with_offload(4), 2)
+        assert result.scenario is Scenario.SCENARIO_1
+        assert result.bound == 12
+
+    def test_scenario_2_2_equation_4(self):
+        # C_off = 7: len(G') = 11, vol = 21, len(G_par) = 6:
+        # 11 - 7 + 6 + (21 - 11 - 6)/2 = 12.
+        result = response_time(figure1_with_offload(7), 2)
+        assert result.scenario is Scenario.SCENARIO_2_2
+        assert result.bound == 12
+
+    def test_scenario_2_1_equation_3(self):
+        # C_off = 20: len(G') = 24, vol = 34, vol(G_par) = 10:
+        # 24 + (34 - 24 - 10)/2 = 24.
+        result = response_time(figure1_with_offload(20), 2)
+        assert result.scenario is Scenario.SCENARIO_2_1
+        assert result.bound == 24
+
+    def test_boundary_equations_3_and_4_agree(self):
+        task = figure1_with_offload(8)
+        forced_21 = response_time(task, 2, scenario=Scenario.SCENARIO_2_1)
+        forced_22 = response_time(task, 2, scenario=Scenario.SCENARIO_2_2)
+        assert forced_21.bound == forced_22.bound == 12
+
+    def test_terms_expose_gpar_quantities(self):
+        result = response_time(figure1_with_offload(4), 2)
+        assert result.terms["vol_Gpar"] == 10
+        assert result.terms["len_Gpar"] == 6
+        assert result.terms["R_hom_Gpar"] == 8
+        assert result.terms["C_off"] == 4
+        assert result.terms["len_G"] == 8
+        assert result.terms["vol_G"] == 18
+
+    def test_interference_terms_are_non_negative(self):
+        for c_off in (1, 4, 7, 8, 12, 20, 50):
+            for cores in (1, 2, 4, 8):
+                result = response_time(figure1_with_offload(c_off), cores)
+                assert result.interference() >= -1e-9
+
+    def test_empty_gpar_degenerates_to_equation_3(self):
+        # A pure chain with an offloaded middle node: G_par is empty and the
+        # heterogeneous bound equals the homogeneous bound of the transformed
+        # graph (there is nothing to overlap with the offload).
+        task = DagTask.from_wcets(
+            {"a": 2, "v_off": 5, "b": 3},
+            [("a", "v_off"), ("v_off", "b")],
+            offloaded_node="v_off",
+        )
+        result = response_time(task, 4)
+        assert result.scenario is Scenario.SCENARIO_2_1
+        assert result.bound == 10  # the chain itself; no interference at all
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(AnalysisError):
+            response_time(figure1_task(), 0)
+
+    def test_rejects_non_task_input(self):
+        with pytest.raises(AnalysisError):
+            response_time("not a task", 2)  # type: ignore[arg-type]
+
+
+class TestAgainstHomogeneousBound:
+    def test_het_beats_hom_for_large_offload(self):
+        task = figure1_with_offload(6)
+        het = response_time(task, 2).bound
+        hom = homogeneous_response_time(task, 2).bound
+        assert het < hom
+
+    def test_hom_can_beat_het_for_tiny_offload(self):
+        # The sync point enlarges the critical path; with a tiny C_off the
+        # homogeneous bound of the *original* task is tighter -- exactly the
+        # effect discussed in Sections 5.2-5.4 of the paper.
+        task = figure1_with_offload(1)
+        het = response_time(task, 2).bound
+        hom = homogeneous_response_time(task, 2).bound
+        assert hom < het
+
+    def test_het_bound_of_transformed_never_exceeds_hom_of_transformed(self):
+        for c_off in (1, 4, 7, 8, 12, 20):
+            task = figure1_with_offload(c_off)
+            transformed = transform(task)
+            het = response_time(transformed, 2).bound
+            hom_on_transformed = homogeneous_response_time(transformed.task, 2).bound
+            assert het <= hom_on_transformed + 1e-9
+
+
+class TestNaiveBound:
+    def test_figure1_value(self):
+        # 13 - 4/2 = 11, the unsafe value quoted in Section 3.2.
+        result = naive_unsafe_response_time(figure1_task(), 2)
+        assert result.bound == 11
+        assert result.method == "naive"
+
+    def test_requires_offloaded_node(self):
+        task = DagTask.from_wcets({"a": 1, "b": 2}, [("a", "b")])
+        with pytest.raises(AnalysisError):
+            naive_unsafe_response_time(task, 2)
+
+    def test_naive_is_never_larger_than_homogeneous(self):
+        for c_off in (1, 4, 10):
+            task = figure1_with_offload(c_off)
+            naive = naive_unsafe_response_time(task, 2).bound
+            hom = homogeneous_response_time(task, 2).bound
+            assert naive <= hom
+
+
+class TestAnalyseConvenience:
+    def test_heterogeneous_task_gets_three_bounds(self):
+        results = analyse(figure1_task(), 2)
+        assert set(results) == {"hom", "het", "naive"}
+        assert all(isinstance(value, ResponseTimeResult) for value in results.values())
+        assert results["hom"].bound == 13
+        assert results["het"].bound == 12
+        assert results["naive"].bound == 11
+
+    def test_homogeneous_task_gets_only_hom(self):
+        task = DagTask.from_wcets({"a": 1, "b": 2}, [("a", "b")])
+        results = analyse(task, 2)
+        assert set(results) == {"hom"}
+
+
+class TestResponseTimeResultBehaviour:
+    def test_meets_deadline(self):
+        result = response_time(figure1_task(), 2)
+        assert result.meets_deadline(12)
+        assert result.meets_deadline(None)
+        assert not result.meets_deadline(11.9)
+
+    def test_comparisons_and_float_conversion(self):
+        het = response_time(figure1_task(), 2)
+        hom = homogeneous_response_time(figure1_task(), 2)
+        assert het < hom
+        assert het <= hom
+        assert het < 12.5
+        assert het <= 12
+        assert float(het) == 12.0
+
+    def test_describe_mentions_method_and_scenario(self):
+        text = response_time(figure1_task(), 2).describe()
+        assert "het" in text
+        assert "scenario-1" in text

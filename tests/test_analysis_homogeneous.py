@@ -1,0 +1,106 @@
+"""Unit tests for Equation 1 (:mod:`repro.analysis.homogeneous`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.homogeneous import (
+    graph_response_time,
+    makespan_lower_bound,
+    response_time,
+)
+from repro.analysis.results import Scenario
+from repro.core.examples import figure1_task
+from repro.core.exceptions import AnalysisError
+from repro.core.graph import DirectedAcyclicGraph
+from repro.core.task import DagTask
+
+
+class TestEquationOne:
+    def test_figure1_value(self):
+        # len = 8, vol = 18, m = 2  ->  8 + 10/2 = 13 (quoted in the paper).
+        result = response_time(figure1_task(), 2)
+        assert result.bound == 13
+        assert result.method == "hom"
+        assert result.scenario is Scenario.NOT_APPLICABLE
+
+    @pytest.mark.parametrize(
+        "cores,expected",
+        [(1, 18.0), (2, 13.0), (4, 10.5), (8, 9.25), (16, 8.625)],
+    )
+    def test_value_for_every_host_size(self, cores, expected):
+        assert response_time(figure1_task(), cores).bound == expected
+
+    def test_terms_are_recorded(self):
+        result = response_time(figure1_task(), 4)
+        assert result.terms["len"] == 8
+        assert result.terms["vol"] == 18
+        assert result.terms["interference"] == pytest.approx(2.5)
+        assert result.cores == 4
+
+    def test_single_core_bound_equals_volume(self):
+        task = figure1_task()
+        assert response_time(task, 1).bound == task.volume
+
+    def test_bound_never_below_critical_path(self):
+        task = figure1_task()
+        assert response_time(task, 10_000).bound >= task.critical_path_length
+
+    def test_bound_is_monotonically_non_increasing_in_m(self):
+        task = figure1_task()
+        bounds = [response_time(task, m).bound for m in range(1, 20)]
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+    def test_invalid_core_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            response_time(figure1_task(), 0)
+        with pytest.raises(AnalysisError):
+            response_time(figure1_task(), 2.5)  # type: ignore[arg-type]
+
+    def test_sequential_chain_has_no_interference(self):
+        task = DagTask.from_wcets(
+            {"a": 3, "b": 4, "c": 5}, [("a", "b"), ("b", "c")]
+        )
+        result = response_time(task, 4)
+        assert result.bound == 12
+        assert result.interference() == 0
+
+
+class TestGraphResponseTime:
+    def test_matches_task_level_bound(self):
+        task = figure1_task()
+        assert graph_response_time(task.graph, 2) == response_time(task, 2).bound
+
+    def test_empty_graph(self):
+        assert graph_response_time(DirectedAcyclicGraph(), 4) == 0.0
+
+    def test_sub_dag_with_multiple_sources(self):
+        # G_par-like sub-DAG: two independent nodes.
+        graph = DirectedAcyclicGraph.from_dict({"x": 4, "y": 6})
+        assert graph_response_time(graph, 2) == 6 + 4 / 2
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(AnalysisError):
+            graph_response_time(DirectedAcyclicGraph.from_dict({"a": 1}), -1)
+
+
+class TestMakespanLowerBound:
+    def test_figure1_lower_bound(self):
+        task = figure1_task()
+        # max(len=8, host_vol/m=14/2=7, C_off=4) = 8.
+        assert makespan_lower_bound(task, 2) == 8
+
+    def test_load_bound_dominates_on_single_core(self):
+        task = figure1_task()
+        assert makespan_lower_bound(task, 1) == 14  # host volume
+
+    def test_huge_offload_drives_the_bound_through_the_critical_path(self):
+        task = figure1_task().with_offloaded_wcet(100)
+        # The offloaded node drags the whole critical path to 1 + 2 + 100 + 1.
+        assert makespan_lower_bound(task, 16) == 104
+        assert makespan_lower_bound(task, 16) >= task.offloaded_wcet
+
+    def test_lower_bound_never_exceeds_equation_one(self):
+        task = figure1_task()
+        for cores in (1, 2, 4, 8, 16):
+            assert makespan_lower_bound(task, cores) <= response_time(task, cores).bound

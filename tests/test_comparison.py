@@ -1,0 +1,84 @@
+"""Unit tests for the comparison helpers (:mod:`repro.analysis.comparison`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import (
+    AnalysisComparison,
+    compare,
+    percentage_change,
+    percentage_increment,
+)
+from repro.analysis.results import Scenario
+from repro.core.examples import figure1_task
+from repro.core.transformation import transform
+
+
+class TestPercentageChange:
+    def test_basic_values(self):
+        assert percentage_change(110, 100) == pytest.approx(10.0)
+        assert percentage_change(90, 100) == pytest.approx(-10.0)
+        assert percentage_change(100, 100) == 0.0
+
+    def test_zero_reference_with_zero_value(self):
+        assert percentage_change(0, 0) == 0.0
+
+    def test_zero_reference_with_nonzero_value_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            percentage_change(5, 0)
+
+    def test_increment_alias(self):
+        assert percentage_increment(13, 8) == percentage_change(13, 8)
+        assert percentage_increment(13, 8) == pytest.approx(62.5)
+
+
+class TestCompare:
+    def test_figure1_comparison(self):
+        comparison = compare(figure1_task(), 2)
+        assert isinstance(comparison, AnalysisComparison)
+        assert comparison.homogeneous.bound == 13
+        assert comparison.heterogeneous.bound == 12
+        assert comparison.naive.bound == 11
+        assert comparison.scenario is Scenario.SCENARIO_1
+        assert comparison.heterogeneous_is_tighter()
+        assert comparison.gain_percent() == pytest.approx(100 * (13 - 12) / 12)
+
+    def test_compare_accepts_precomputed_transformation(self):
+        task = figure1_task()
+        transformed = transform(task)
+        direct = compare(task, 4)
+        reused = compare(task, 4, transformed)
+        assert direct.heterogeneous.bound == reused.heterogeneous.bound
+        assert reused.transformed is transformed
+
+    def test_offloaded_fraction(self):
+        comparison = compare(figure1_task(), 2)
+        assert comparison.offloaded_fraction() == pytest.approx(4 / 18)
+
+    def test_summary_is_flat_and_complete(self):
+        summary = compare(figure1_task(), 8).summary()
+        expected_keys = {
+            "m",
+            "n",
+            "vol",
+            "len",
+            "C_off",
+            "C_off_fraction",
+            "R_hom",
+            "R_het",
+            "R_naive",
+            "gain_percent",
+            "scenario",
+        }
+        assert set(summary) == expected_keys
+        assert summary["m"] == 8.0
+        assert summary["n"] == 6.0
+        assert summary["scenario"] in (1.0, 2.1, 2.2)
+        assert all(isinstance(value, float) for value in summary.values())
+
+    def test_gain_can_be_negative_for_tiny_offload(self):
+        task = figure1_task().with_offloaded_wcet(1)
+        comparison = compare(task, 2)
+        assert not comparison.heterogeneous_is_tighter()
+        assert comparison.gain_percent() < 0

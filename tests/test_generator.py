@@ -1,0 +1,326 @@
+"""Unit and property tests for the random task generators (:mod:`repro.generator`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import GenerationError
+from repro.core.validation import validate_graph, validate_task
+from repro.generator.config import GeneratorConfig, OffloadConfig
+from repro.generator.layered import LayeredConfig, LayeredDagGenerator, generate_layered_task
+from repro.generator.offload import (
+    assign_offloaded_wcet,
+    make_heterogeneous,
+    pin_offloaded_fraction,
+    select_offloaded_node,
+)
+from repro.generator.presets import (
+    CORE_COUNTS,
+    LARGE_TASKS,
+    LARGE_TASKS_FIG6,
+    SMALL_TASKS,
+    SMALL_TASKS_FIG7_M2,
+    SMALL_TASKS_FIG7_M8,
+    preset_by_name,
+)
+from repro.generator.random_dag import DagStructureGenerator, generate_graph, generate_host_task
+from repro.generator.sweep import default_fraction_grid, offload_fraction_sweep
+
+SMALL = GeneratorConfig(p_par=0.6, n_par=4, max_depth=3, n_min=3, n_max=40, c_min=1, c_max=50)
+
+
+class TestGeneratorConfig:
+    def test_longest_possible_path(self):
+        assert SMALL_TASKS.longest_possible_path == 7
+        assert LARGE_TASKS.longest_possible_path == 11
+
+    def test_with_node_range(self):
+        narrowed = LARGE_TASKS.with_node_range(100, 250)
+        assert (narrowed.n_min, narrowed.n_max) == (100, 250)
+        assert narrowed.n_par == LARGE_TASKS.n_par
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p_par": 1.5},
+            {"p_par": -0.1},
+            {"n_par": 1},
+            {"max_depth": 0},
+            {"n_min": 0},
+            {"n_min": 10, "n_max": 5},
+            {"c_min": -1},
+            {"c_min": 10, "c_max": 5},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            GeneratorConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_fraction": 1.0},
+            {"target_fraction": -0.2},
+            {"max_fraction": 0.0},
+            {"max_fraction": 1.0},
+            {"minimum_wcet": -1},
+        ],
+    )
+    def test_invalid_offload_parameters_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            OffloadConfig(**kwargs)
+
+    def test_offload_with_target_fraction(self):
+        config = OffloadConfig().with_target_fraction(0.25)
+        assert config.target_fraction == 0.25
+
+
+class TestStructureGeneration:
+    def test_node_count_respects_range(self):
+        generator = DagStructureGenerator(SMALL, rng=123)
+        for _ in range(20):
+            graph = generator.generate_structure()
+            assert SMALL.n_min <= graph.node_count <= SMALL.n_max
+
+    def test_structural_model_assumptions_hold(self):
+        generator = DagStructureGenerator(SMALL, rng=7)
+        for _ in range(20):
+            graph = generator.generate_structure()
+            report = validate_graph(graph)
+            assert report.is_valid, report.problems
+
+    def test_longest_path_bounded_by_config(self):
+        generator = DagStructureGenerator(SMALL, rng=11)
+        for _ in range(20):
+            graph = generator.generate_structure()
+            # Path length in *nodes* is bounded by 2 * max_depth + 1.
+            path = graph.critical_path()
+            assert len(path) <= SMALL.longest_possible_path
+
+    def test_wcets_within_bounds(self):
+        graph = generate_graph(SMALL, rng=5)
+        for node in graph.nodes():
+            assert SMALL.c_min <= graph.wcet(node) <= SMALL.c_max
+            assert float(graph.wcet(node)).is_integer()
+
+    def test_same_seed_same_task(self):
+        first = generate_host_task(SMALL, rng=42)
+        second = generate_host_task(SMALL, rng=42)
+        assert first.graph == second.graph
+
+    def test_different_seeds_differ(self):
+        first = generate_host_task(SMALL, rng=1)
+        second = generate_host_task(SMALL, rng=2)
+        assert first.graph != second.graph
+
+    def test_generate_many(self):
+        tasks = DagStructureGenerator(SMALL, rng=3).generate_many(5, prefix="job")
+        assert len(tasks) == 5
+        assert [task.name for task in tasks] == [f"job_{i}" for i in range(5)]
+
+    def test_impossible_range_raises(self):
+        # A single fork/join with >= 2 branches has at least 4 nodes, so a
+        # forced-root-expansion generator can never produce 3-node DAGs only.
+        impossible = GeneratorConfig(
+            p_par=0.0,
+            n_par=8,
+            max_depth=5,
+            n_min=1000,
+            n_max=1001,
+            max_attempts=5,
+        )
+        with pytest.raises(GenerationError):
+            DagStructureGenerator(impossible, rng=0).generate_structure()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_paper_presets_generate_valid_tasks(self, seed):
+        config = SMALL_TASKS_FIG7_M2
+        task = generate_host_task(config, rng=seed)
+        assert config.n_min <= task.node_count <= config.n_max
+        assert validate_task(task).is_valid
+
+
+class TestOffloadSelection:
+    def test_select_offloaded_node_reproducible(self):
+        task = generate_host_task(SMALL, rng=9)
+        first = select_offloaded_node(task, rng=10)
+        second = select_offloaded_node(task, rng=10)
+        assert first.offloaded_node == second.offloaded_node
+        assert first.offloaded_node in task.graph
+
+    def test_exclude_source_sink(self):
+        task = generate_host_task(SMALL, rng=9)
+        config = OffloadConfig(exclude_source_sink=True)
+        for seed in range(10):
+            selected = select_offloaded_node(task, config, rng=seed)
+            assert selected.offloaded_node not in task.graph.sources()
+            assert selected.offloaded_node not in task.graph.sinks()
+
+    def test_exclude_source_sink_with_tiny_graph_raises(self):
+        from repro.core.task import DagTask
+
+        tiny = DagTask.from_wcets({"a": 1, "b": 1}, [("a", "b")])
+        with pytest.raises(GenerationError):
+            select_offloaded_node(tiny, OffloadConfig(exclude_source_sink=True), rng=0)
+
+    def test_pin_offloaded_fraction_exact(self):
+        task = select_offloaded_node(generate_host_task(SMALL, rng=4), rng=4)
+        for fraction in (0.05, 0.2, 0.5):
+            pinned = pin_offloaded_fraction(task, fraction, minimum_wcet=0)
+            assert pinned.offloaded_fraction() == pytest.approx(fraction)
+
+    def test_pin_offloaded_fraction_respects_minimum(self):
+        task = select_offloaded_node(generate_host_task(SMALL, rng=4), rng=4)
+        pinned = pin_offloaded_fraction(task, 0.0001, minimum_wcet=1.0)
+        assert pinned.offloaded_wcet == 1.0
+
+    def test_pin_requires_offloaded_node(self):
+        task = generate_host_task(SMALL, rng=4)
+        with pytest.raises(GenerationError):
+            pin_offloaded_fraction(task, 0.2)
+
+    def test_pin_rejects_invalid_fraction(self):
+        task = select_offloaded_node(generate_host_task(SMALL, rng=4), rng=4)
+        with pytest.raises(GenerationError):
+            pin_offloaded_fraction(task, 1.0)
+
+    def test_assign_offloaded_wcet_below_max_fraction(self):
+        task = select_offloaded_node(generate_host_task(SMALL, rng=4), rng=4)
+        config = OffloadConfig(max_fraction=0.4)
+        for seed in range(20):
+            assigned = assign_offloaded_wcet(task, config, rng=seed)
+            assert assigned.offloaded_wcet >= config.minimum_wcet
+            # A rounded draw can exceed the target fraction only marginally.
+            assert assigned.offloaded_fraction() <= 0.4 + 0.02
+
+    def test_assign_requires_offloaded_node(self):
+        with pytest.raises(GenerationError):
+            assign_offloaded_wcet(generate_host_task(SMALL, rng=4))
+
+    def test_make_heterogeneous_with_target(self):
+        task = generate_host_task(SMALL, rng=6)
+        hetero = make_heterogeneous(task, rng=6, target_fraction=0.3)
+        assert hetero.is_heterogeneous
+        assert hetero.offloaded_fraction() == pytest.approx(0.3, abs=0.02)
+
+    def test_make_heterogeneous_uses_config_fraction(self):
+        task = generate_host_task(SMALL, rng=6)
+        hetero = make_heterogeneous(task, OffloadConfig(target_fraction=0.25), rng=6)
+        assert hetero.offloaded_fraction() == pytest.approx(0.25, abs=0.02)
+
+
+class TestSweep:
+    def test_paired_sweep_reuses_structures(self):
+        points = offload_fraction_sweep(
+            [0.05, 0.3], dags_per_point=4, generator_config=SMALL, rng=1, paired=True
+        )
+        assert len(points) == 2
+        assert all(len(point) == 4 for point in points)
+        for first, second in zip(points[0].tasks, points[1].tasks):
+            assert first.offloaded_node == second.offloaded_node
+            assert set(first.graph.nodes()) == set(second.graph.nodes())
+            assert first.offloaded_wcet < second.offloaded_wcet
+
+    def test_unpaired_sweep_draws_new_structures(self):
+        points = offload_fraction_sweep(
+            [0.05, 0.3], dags_per_point=3, generator_config=SMALL, rng=1, paired=False
+        )
+        first_nodes = {tuple(sorted(map(repr, t.graph.nodes()))) for t in points[0].tasks}
+        second_nodes = {tuple(sorted(map(repr, t.graph.nodes()))) for t in points[1].tasks}
+        # Structures are drawn independently, so at least one differs.
+        assert first_nodes != second_nodes or len(first_nodes) > 1
+
+    def test_realised_fractions_close_to_target(self):
+        points = offload_fraction_sweep(
+            [0.2], dags_per_point=6, generator_config=SMALL, rng=2
+        )
+        for realised in points[0].realised_fractions():
+            assert realised == pytest.approx(0.2, abs=0.02)
+
+    def test_sweep_is_reproducible(self):
+        first = offload_fraction_sweep([0.1], 3, SMALL, rng=5)
+        second = offload_fraction_sweep([0.1], 3, SMALL, rng=5)
+        for a, b in zip(first[0].tasks, second[0].tasks):
+            assert a.graph == b.graph
+            assert a.offloaded_node == b.offloaded_node
+
+    def test_default_fraction_grid(self):
+        grid = default_fraction_grid(0.01, 0.5, 8)
+        assert len(grid) == 8
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(0.5)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_single_point_grid(self):
+        assert default_fraction_grid(0.1, 0.5, 1) == [0.1]
+
+
+class TestPresets:
+    def test_core_counts_match_paper(self):
+        assert CORE_COUNTS == (2, 4, 8, 16)
+
+    def test_small_and_large_parameters(self):
+        assert SMALL_TASKS.n_par == 6 and SMALL_TASKS.max_depth == 3
+        assert LARGE_TASKS.n_par == 8 and LARGE_TASKS.max_depth == 5
+        assert SMALL_TASKS_FIG7_M2.n_max == 20
+        assert SMALL_TASKS_FIG7_M8.n_min == 30
+        assert LARGE_TASKS_FIG6.n_max == 250
+
+    def test_preset_lookup(self):
+        assert preset_by_name("small") is SMALL_TASKS
+        assert preset_by_name("large-fig6") is LARGE_TASKS_FIG6
+        with pytest.raises(KeyError):
+            preset_by_name("does-not-exist")
+
+
+class TestLayeredGenerator:
+    def test_structure_is_model_compliant(self):
+        generator = LayeredDagGenerator(LayeredConfig(n_min=10, n_max=30), rng=3)
+        for _ in range(10):
+            graph = generator.generate_structure()
+            report = validate_graph(graph)
+            assert report.is_valid, report.problems
+
+    def test_node_count_within_range(self):
+        config = LayeredConfig(n_min=15, n_max=25)
+        generator = LayeredDagGenerator(config, rng=3)
+        for _ in range(10):
+            graph = generator.generate_structure()
+            # The transitive reduction may only remove edges, never nodes.
+            assert graph.node_count <= config.n_max
+            assert graph.node_count >= min(config.n_min, 3)
+
+    def test_wcets_and_dummies(self):
+        task = generate_layered_task(LayeredConfig(n_min=10, n_max=20), rng=8)
+        assert task.graph.wcet("source") == 0
+        assert task.graph.wcet("sink") == 0
+        inner = [n for n in task.graph.nodes() if n not in ("source", "sink")]
+        assert all(task.graph.wcet(node) >= 1 for node in inner)
+
+    def test_reproducible(self):
+        first = generate_layered_task(rng=21)
+        second = generate_layered_task(rng=21)
+        assert first.graph == second.graph
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(GenerationError):
+            LayeredConfig(n_min=2, n_max=1)
+        with pytest.raises(GenerationError):
+            LayeredConfig(edge_probability=1.5)
+        with pytest.raises(GenerationError):
+            LayeredConfig(layers_min=0)
+
+    def test_layered_tasks_work_with_the_full_pipeline(self):
+        from repro.analysis.heterogeneous import response_time
+        from repro.core.transformation import transform
+
+        task = generate_layered_task(LayeredConfig(n_min=12, n_max=20), rng=5)
+        hetero = make_heterogeneous(task, rng=5, target_fraction=0.2)
+        transformed = transform(hetero)
+        result = response_time(transformed, 4)
+        assert result.bound >= hetero.critical_path_length

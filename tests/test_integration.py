@@ -1,0 +1,134 @@
+"""End-to-end integration tests exercising the full analysis pipeline.
+
+These tests chain generation, transformation, analysis, simulation and the
+optimal-makespan oracle and assert the ordering every component must respect:
+
+    optimal makespan  <=  simulated makespan  <=  response-time bound
+
+as well as cross-cutting behaviours such as serialisation of generated tasks
+and the schedulability layer operating on top of all of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare
+from repro.analysis.heterogeneous import response_time as heterogeneous_response_time
+from repro.analysis.homogeneous import response_time as homogeneous_response_time
+from repro.analysis.schedulability import AnalysisKind, is_schedulable, minimum_cores
+from repro.core.transformation import transform
+from repro.core.validation import validate_task
+from repro.generator.config import GeneratorConfig, OffloadConfig
+from repro.generator.offload import make_heterogeneous
+from repro.generator.random_dag import DagStructureGenerator
+from repro.ilp.makespan import minimum_makespan
+from repro.io.json_io import task_from_json, task_to_json
+from repro.simulation.engine import simulate
+from repro.simulation.platform import Platform
+from repro.simulation.schedulers import BreadthFirstPolicy, CriticalPathFirstPolicy
+
+SMALL_INT_CONFIG = GeneratorConfig(
+    p_par=0.6, n_par=4, max_depth=3, n_min=4, n_max=11, c_min=1, c_max=6
+)
+
+
+def generate_small_tasks(count: int, fraction: float, seed: int):
+    rng = np.random.default_rng(seed)
+    generator = DagStructureGenerator(SMALL_INT_CONFIG, rng)
+    tasks = []
+    for index in range(count):
+        task = generator.generate_task(name=f"tau_{index}")
+        task = make_heterogeneous(task, OffloadConfig(), rng, target_fraction=fraction)
+        tasks.append(task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet))))
+    return tasks
+
+
+class TestOrderingChain:
+    @pytest.mark.parametrize("cores", [2, 4])
+    @pytest.mark.parametrize("fraction", [0.1, 0.4])
+    def test_optimal_le_simulated_le_bounds(self, cores, fraction):
+        for task in generate_small_tasks(4, fraction, seed=int(100 * fraction) + cores):
+            assert validate_task(task).is_valid
+            transformed = transform(task)
+
+            optimal = minimum_makespan(task, cores).makespan
+            simulated_original = simulate(task, Platform(cores, 1)).makespan()
+            simulated_transformed = simulate(
+                transformed.task, Platform(cores, 1)
+            ).makespan()
+            r_hom = homogeneous_response_time(task, cores).bound
+            r_het = heterogeneous_response_time(transformed, cores).bound
+
+            assert optimal <= simulated_original + 1e-9
+            assert simulated_original <= r_hom + 1e-9
+            assert simulated_transformed <= r_het + 1e-9
+            # The optimal makespan can never exceed either analytic bound.
+            assert optimal <= r_hom + 1e-9
+            assert optimal <= min(r_hom, r_het) + 1e-9
+
+    def test_transformed_optimum_never_beats_original_optimum(self):
+        for task in generate_small_tasks(4, 0.3, seed=11):
+            original = minimum_makespan(task, 2).makespan
+            constrained = minimum_makespan(transform(task).task, 2).makespan
+            assert constrained >= original - 1e-9
+
+
+class TestSerialisationInTheLoop:
+    def test_generated_tasks_survive_json_round_trips(self):
+        for task in generate_small_tasks(3, 0.25, seed=5):
+            rebuilt = task_from_json(task_to_json(task))
+            assert rebuilt.graph == task.graph
+            comparison_a = compare(task, 4)
+            comparison_b = compare(rebuilt, 4)
+            assert comparison_a.heterogeneous.bound == comparison_b.heterogeneous.bound
+            assert comparison_a.homogeneous.bound == comparison_b.homogeneous.bound
+
+
+class TestSchedulabilityPipeline:
+    def test_dimensioning_is_consistent_with_the_deadline_test(self):
+        for task in generate_small_tasks(3, 0.3, seed=21):
+            deadline = 1.5 * task.critical_path_length
+            cores = minimum_cores(task, AnalysisKind.AUTO, deadline=deadline)
+            if cores is None:
+                continue
+            assert is_schedulable(task, cores, deadline=deadline).schedulable
+            if cores > 1:
+                assert not is_schedulable(
+                    task, cores - 1, deadline=deadline
+                ).schedulable
+
+    def test_simulation_validates_the_analytic_schedulability_verdict(self):
+        # If the analysis says "schedulable on m cores with deadline D", then
+        # a work-conserving simulation of the transformed task meets D too.
+        for task in generate_small_tasks(4, 0.35, seed=33):
+            deadline = 2.0 * task.critical_path_length
+            verdict = is_schedulable(task, 2, deadline=deadline)
+            if not verdict.schedulable:
+                continue
+            transformed = transform(task)
+            for policy in (BreadthFirstPolicy(), CriticalPathFirstPolicy()):
+                makespan = simulate(transformed.task, Platform(2, 1), policy).makespan()
+                assert makespan <= deadline + 1e-9
+
+
+class TestComparisonPipeline:
+    def test_gain_matches_bound_ratio(self):
+        for task in generate_small_tasks(3, 0.4, seed=44):
+            comparison = compare(task, 2)
+            expected = 100.0 * (
+                comparison.homogeneous.bound - comparison.heterogeneous.bound
+            ) / comparison.heterogeneous.bound
+            assert comparison.gain_percent() == pytest.approx(expected)
+
+    def test_large_offload_usually_favours_the_heterogeneous_analysis(self):
+        # For small tasks the two bounds frequently tie (G_par can be tiny),
+        # so count "not worse" and require a clear majority of strict wins
+        # among the non-tied cases.
+        tasks = generate_small_tasks(10, 0.45, seed=55)
+        gains = [compare(task, 2).gain_percent() for task in tasks]
+        not_worse = sum(1 for gain in gains if gain >= -1e-9)
+        strict_wins = sum(1 for gain in gains if gain > 1e-9)
+        assert not_worse >= 8
+        assert strict_wins >= 3

@@ -1,0 +1,168 @@
+"""Unit tests for the schedulability layer (:mod:`repro.analysis.schedulability`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.schedulability import (
+    AnalysisKind,
+    acceptance_ratio,
+    bound_for,
+    federated_assignment,
+    is_schedulable,
+    minimum_cores,
+)
+from repro.core.examples import figure1_task
+from repro.core.exceptions import AnalysisError
+from repro.core.task import DagTask, TaskSet
+
+
+def chain_task(name: str, wcets: list[float], period: float) -> DagTask:
+    nodes = {f"{name}_{i}": wcet for i, wcet in enumerate(wcets)}
+    names = list(nodes)
+    edges = list(zip(names, names[1:]))
+    return DagTask.from_wcets(nodes, edges, period=period, name=name)
+
+
+class TestBoundFor:
+    def test_auto_uses_heterogeneous_when_offloaded(self):
+        result = bound_for(figure1_task(), 2, AnalysisKind.AUTO)
+        assert result.method == "het"
+        assert result.bound == 12
+
+    def test_auto_uses_homogeneous_otherwise(self):
+        task = chain_task("c", [1, 2, 3], period=10)
+        assert bound_for(task, 2, AnalysisKind.AUTO).method == "hom"
+
+    def test_explicit_homogeneous_on_heterogeneous_task(self):
+        assert bound_for(figure1_task(), 2, AnalysisKind.HOMOGENEOUS).bound == 13
+
+    def test_heterogeneous_requires_offloaded_node(self):
+        task = chain_task("c", [1, 2], period=10)
+        with pytest.raises(AnalysisError):
+            bound_for(task, 2, AnalysisKind.HETEROGENEOUS)
+
+
+class TestIsSchedulable:
+    def test_uses_task_deadline(self):
+        task = figure1_task(period=20, deadline=12)
+        result = is_schedulable(task, 2)
+        assert result.schedulable
+        assert result.response_time.bound == 12
+        assert result.slack() == 0
+
+    def test_deadline_override(self):
+        task = figure1_task(period=20, deadline=12)
+        assert not is_schedulable(task, 2, deadline=11).schedulable
+        assert is_schedulable(task, 2, deadline=30).schedulable
+
+    def test_no_deadline_means_trivially_schedulable(self):
+        result = is_schedulable(figure1_task(), 2)
+        assert result.schedulable
+        assert result.slack() is None
+
+    def test_homogeneous_analysis_may_disagree(self):
+        task = figure1_task(period=20, deadline=12)
+        hom = is_schedulable(task, 2, AnalysisKind.HOMOGENEOUS)
+        het = is_schedulable(task, 2, AnalysisKind.HETEROGENEOUS)
+        assert not hom.schedulable  # R_hom = 13 > 12
+        assert het.schedulable  # R_het = 12 <= 12
+
+
+class TestMinimumCores:
+    def test_figure1_needs_two_cores_for_deadline_12(self):
+        task = figure1_task(period=20, deadline=12)
+        assert minimum_cores(task) == 2
+
+    def test_single_core_suffices_for_loose_deadline(self):
+        task = figure1_task(period=40, deadline=40)
+        assert minimum_cores(task) == 1
+
+    def test_impossible_deadline_returns_none(self):
+        task = figure1_task(period=20, deadline=9)
+        # len(G') = 10 > 9: no number of cores can help the het analysis;
+        # and len(G) = 8 <= 9 but interference never reaches 1 below m=inf...
+        assert minimum_cores(task, AnalysisKind.HETEROGENEOUS) is None
+
+    def test_deadline_below_critical_path_returns_none(self):
+        task = figure1_task(period=20, deadline=7)
+        assert minimum_cores(task) is None
+
+    def test_no_deadline_needs_one_core(self):
+        assert minimum_cores(figure1_task()) == 1
+
+    def test_result_is_minimal(self):
+        task = figure1_task(period=20, deadline=12)
+        cores = minimum_cores(task)
+        assert cores is not None
+        assert bound_for(task, cores).meets_deadline(12)
+        if cores > 1:
+            assert not bound_for(task, cores - 1).meets_deadline(12)
+
+    def test_heterogeneous_needs_fewer_or_equal_cores(self):
+        task = figure1_task(period=20, deadline=13)
+        het = minimum_cores(task, AnalysisKind.HETEROGENEOUS)
+        hom = minimum_cores(task, AnalysisKind.HOMOGENEOUS)
+        assert het is not None and hom is not None
+        assert het <= hom
+
+
+class TestFederatedAssignment:
+    def test_heavy_and_light_partition(self):
+        heavy = figure1_task(period=12, deadline=12)  # density 1.5 -> heavy
+        light = chain_task("light", [1, 1], period=10)  # density 0.2
+        assignment = federated_assignment(TaskSet([heavy, light]), cores=3)
+        assert assignment.schedulable
+        assert assignment.heavy == {"figure1": 2}
+        assert assignment.light == ["light"]
+        assert assignment.cores_used == 2
+
+    def test_insufficient_cores_for_heavy_tasks(self):
+        heavy = figure1_task(period=12, deadline=12)
+        assignment = federated_assignment([heavy], cores=1)
+        assert not assignment.schedulable
+        assert "require" in assignment.reason
+
+    def test_unschedulable_heavy_task(self):
+        impossible = figure1_task(period=9, deadline=9)  # below len(G') = 10
+        assignment = federated_assignment([impossible], cores=64)
+        assert not assignment.schedulable
+        assert "cannot meet" in assignment.reason
+
+    def test_light_tasks_overflowing_remaining_cores(self):
+        heavy = figure1_task(period=12, deadline=12)
+        light_tasks = [chain_task(f"l{i}", [3, 3], period=10) for i in range(4)]
+        assignment = federated_assignment([heavy] + light_tasks, cores=3)
+        assert not assignment.schedulable
+        assert "density" in assignment.reason
+
+    def test_requires_deadlines(self):
+        with pytest.raises(AnalysisError):
+            federated_assignment([figure1_task()], cores=4)
+
+    def test_all_light_taskset(self):
+        light_tasks = [chain_task(f"l{i}", [1, 1], period=10) for i in range(3)]
+        assignment = federated_assignment(light_tasks, cores=2)
+        assert assignment.schedulable
+        assert assignment.heavy == {}
+        assert assignment.cores_used == 0
+
+
+class TestAcceptanceRatio:
+    def test_mixed_population(self):
+        tasks = [
+            figure1_task(period=20, deadline=12),  # schedulable on 2 cores
+            figure1_task(period=20, deadline=9),  # not schedulable
+        ]
+        assert acceptance_ratio(tasks, 2) == 0.5
+
+    def test_empty_population(self):
+        assert acceptance_ratio([], 4) == 1.0
+
+    def test_heterogeneous_analysis_dominates_homogeneous(self):
+        tasks = [figure1_task(period=20, deadline=12) for _ in range(3)]
+        het = acceptance_ratio(tasks, 2, AnalysisKind.AUTO)
+        hom = acceptance_ratio(tasks, 2, AnalysisKind.HOMOGENEOUS)
+        assert het >= hom
+        assert het == 1.0
+        assert hom == 0.0

@@ -1,0 +1,172 @@
+"""Fine-grained tests of trace metrics, policy priorities and CLI error paths.
+
+These complement the behavioural tests in ``test_simulation.py`` with
+hand-computed values on tiny, fully controlled schedules, so that a subtle
+regression in the metric arithmetic (utilisation, idle-overlap accounting,
+queueing delay) cannot hide behind the randomised tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.examples import figure1_task
+from repro.core.task import DagTask
+from repro.simulation.engine import simulate
+from repro.simulation.platform import ACCELERATOR, HOST, Platform
+from repro.simulation.schedulers import (
+    BreadthFirstPolicy,
+    CriticalPathFirstPolicy,
+    DepthFirstPolicy,
+    LongestFirstPolicy,
+    ShortestFirstPolicy,
+)
+from repro.simulation.trace import ExecutionTrace, NodeExecution
+
+
+def _record(node, start, finish, kind=HOST, resource="core0", ready=None):
+    return NodeExecution(
+        node=node,
+        start=start,
+        finish=finish,
+        resource_kind=kind,
+        resource=resource,
+        ready=start if ready is None else ready,
+    )
+
+
+def _fork_join_task() -> DagTask:
+    """fork -> {left(4), right(2), v_off(6)} -> join, all WCETs hand-picked."""
+    return DagTask.from_wcets(
+        {"fork": 1, "left": 4, "right": 2, "v_off": 6, "join": 1},
+        [
+            ("fork", "left"),
+            ("fork", "right"),
+            ("fork", "v_off"),
+            ("left", "join"),
+            ("right", "join"),
+            ("v_off", "join"),
+        ],
+        offloaded_node="v_off",
+        name="fork-join",
+    )
+
+
+class TestTraceMetricArithmetic:
+    def test_host_utilisation_hand_computed(self):
+        task = _fork_join_task()
+        trace = simulate(task, Platform(2, 1))
+        # Host work = 1 + 4 + 2 + 1 = 8; makespan = 1 + 6 + 1 = 8; 2 cores.
+        assert trace.makespan() == 8
+        assert trace.host_utilisation() == pytest.approx(8 / (8 * 2))
+        assert trace.accelerator_utilisation() == pytest.approx(6 / 8)
+
+    def test_host_idle_while_accelerator_busy_hand_computed(self):
+        task = _fork_join_task()
+        trace = simulate(task, Platform(2, 1))
+        # v_off runs 1 -> 7.  Host busy intervals: left 1-5, right 1-3, and
+        # nothing else until join at 7.  Idle core*time overlapping [1, 7]:
+        # core1 idle 3-7 (4) + core0 idle 5-7 (2) = 6.
+        assert trace.host_idle_while_accelerator_busy() == pytest.approx(6)
+
+    def test_idle_overlap_is_zero_without_accelerator_work(self):
+        task = _fork_join_task().as_homogeneous()
+        trace = simulate(task, Platform(2, 1))
+        assert trace.host_idle_while_accelerator_busy() == 0.0
+
+    def test_manual_trace_metrics(self):
+        task = DagTask.from_wcets({"a": 2, "b": 2}, [("a", "b")], offloaded_node=None)
+        trace = ExecutionTrace(
+            task=task,
+            platform=Platform(1, 0),
+            executions=[
+                _record("a", 0, 2),
+                _record("b", 2, 4, ready=2),
+            ],
+        )
+        trace.validate()
+        assert trace.makespan() == 4
+        assert trace.start_time() == 0
+        assert trace.busy_time(HOST) == 4
+        assert trace.busy_time(ACCELERATOR) == 0
+        assert trace.host_utilisation() == pytest.approx(1.0)
+        assert trace.accelerator_utilisation() == 0.0
+
+    def test_as_rows_is_sorted_by_start(self):
+        trace = simulate(_fork_join_task(), Platform(2, 1))
+        rows = trace.as_rows()
+        starts = [row["start"] for row in rows]
+        assert starts == sorted(starts)
+        assert rows[0]["node"] == "fork"
+
+    def test_queueing_delay_hand_computed(self):
+        # Single host core: 'right' becomes ready at 1 but must wait for
+        # 'left' (scheduled first by creation order) to finish at 5.
+        trace = simulate(_fork_join_task(), Platform(1, 1))
+        right = trace.execution_of("right")
+        assert right.ready == 1
+        assert right.queueing_delay == right.start - 1
+        assert right.queueing_delay > 0
+
+
+class TestPolicyPriorityOrders:
+    def test_breadth_first_orders_by_ready_time_then_creation(self):
+        policy = BreadthFirstPolicy()
+        policy.prepare(figure1_task().graph)
+        early = policy.priority("v3", ready_time=1.0, arrival_index=5)
+        later = policy.priority("v2", ready_time=2.0, arrival_index=6)
+        assert early < later  # earlier ready time wins despite creation order
+        first_created = policy.priority("v2", ready_time=1.0, arrival_index=7)
+        assert first_created < early  # same ready time: creation order wins
+
+    def test_depth_first_prefers_most_recent_arrival(self):
+        policy = DepthFirstPolicy()
+        older = policy.priority("x", 0.0, arrival_index=1)
+        newer = policy.priority("y", 5.0, arrival_index=2)
+        assert newer < older
+
+    def test_critical_path_first_prefers_longer_tail(self):
+        graph = figure1_task().graph
+        policy = CriticalPathFirstPolicy()
+        policy.prepare(graph)
+        # v3 (tail 7) must precede v4 (tail 7) only via the tie-break, but
+        # both must precede v2 (tail 5).
+        assert policy.priority("v3", 0, 1) < policy.priority("v2", 0, 2)
+        assert policy.priority("v4", 0, 1) < policy.priority("v2", 0, 2)
+
+    def test_wcet_based_policies_are_mirror_images(self):
+        graph = figure1_task().graph
+        shortest = ShortestFirstPolicy()
+        longest = LongestFirstPolicy()
+        shortest.prepare(graph)
+        longest.prepare(graph)
+        assert shortest.priority("v1", 0, 1) < shortest.priority("v3", 0, 2)
+        assert longest.priority("v3", 0, 1) < longest.priority("v1", 0, 2)
+
+
+class TestCliErrorPaths:
+    def test_unknown_policy_is_reported_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.json_io import save_task
+
+        path = save_task(figure1_task(), tmp_path / "t.json")
+        exit_code = main(["simulate", str(path), "--policy", "no-such-policy"])
+        assert exit_code == 1
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_preset_is_reported_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            ["generate", "-o", str(tmp_path), "--preset", "no-such-preset"]
+        )
+        assert exit_code == 1
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_transform_of_homogeneous_task_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io.json_io import save_task
+
+        path = save_task(figure1_task().as_homogeneous(), tmp_path / "t.json")
+        assert main(["transform", str(path)]) == 1
+        assert "no offloaded node" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""Property-based tests of Algorithm 1 on randomly generated tasks."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transformation import transform
+from repro.core.validation import validate_task
+
+from .strategies import make_random_heterogeneous_task
+
+_SEEDS = st.integers(min_value=0, max_value=5_000)
+_FRACTIONS = st.floats(min_value=0.01, max_value=0.6, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_transformation_preserves_volume(seed, fraction):
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    assert transformed.transformed_volume() == task.volume
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_transformation_never_shortens_the_critical_path(seed, fraction):
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    assert transformed.transformed_length() >= task.critical_path_length - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_transformed_graph_satisfies_the_system_model(seed, fraction):
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    report = validate_task(transformed.task)
+    assert report.is_valid, report.problems
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_gpar_is_exactly_the_set_of_parallel_nodes(seed, fraction):
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    expected = task.parallel_nodes_to_offloaded()
+    assert transformed.gpar_nodes == expected
+    # Every G_par edge must already exist in the original graph.
+    for src, dst in transformed.gpar.edges():
+        assert task.graph.has_edge(src, dst)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_sync_point_guarantees_parallel_start(seed, fraction):
+    """After the transformation no G_par node can start before v_sync.
+
+    Structurally: every G_par node is a descendant of v_sync in G', and
+    v_off's only predecessor is v_sync.  This is the property Theorem 1
+    relies on.
+    """
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    graph = transformed.graph
+    descendants = graph.descendants(transformed.sync_node)
+    assert transformed.gpar_nodes <= descendants
+    assert graph.predecessors(transformed.offloaded_node) == {transformed.sync_node}
+    assert graph.predecessors(transformed.sync_node) == transformed.direct_predecessors
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_reachability_outside_gpar_is_preserved(seed, fraction):
+    """Predecessor/successor relations w.r.t. v_off survive the transformation."""
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    graph = transformed.graph
+    v_off = transformed.offloaded_node
+    for node in transformed.predecessors:
+        assert graph.has_path(node, v_off)
+    for node in transformed.successors:
+        assert graph.has_path(v_off, node)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=_SEEDS, fraction=_FRACTIONS)
+def test_node_set_only_gains_the_sync_node(seed, fraction):
+    task = make_random_heterogeneous_task(seed, fraction)
+    transformed = transform(task)
+    original_nodes = set(task.graph.nodes())
+    transformed_nodes = set(transformed.graph.nodes())
+    assert transformed_nodes == original_nodes | {transformed.sync_node}
+    for node in original_nodes:
+        assert transformed.graph.wcet(node) == task.graph.wcet(node)

@@ -1,0 +1,142 @@
+"""Unit tests for the system-model validators (:mod:`repro.core.validation`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.examples import figure1_task, figure3_task
+from repro.core.exceptions import ValidationError
+from repro.core.graph import DirectedAcyclicGraph
+from repro.core.task import DagTask
+from repro.core.validation import normalise_task, validate_graph, validate_task
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self):
+        report = validate_graph(figure1_task().graph)
+        assert report.is_valid
+        assert bool(report)
+        assert report.problems == []
+
+    def test_empty_graph_rejected(self):
+        report = validate_graph(DirectedAcyclicGraph())
+        assert not report.is_valid
+        assert "no nodes" in report.problems[0]
+
+    def test_cycle_detected(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 1}, [("a", "b"), ("b", "a")]
+        )
+        report = validate_graph(graph)
+        assert not report.is_valid
+        assert any("cycle" in problem for problem in report.problems)
+
+    def test_multiple_sources_detected(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 1, "c": 1}, [("a", "c"), ("b", "c")]
+        )
+        report = validate_graph(graph)
+        assert any("source" in problem for problem in report.problems)
+        relaxed = validate_graph(graph, require_single_source=False)
+        assert relaxed.is_valid
+
+    def test_multiple_sinks_detected(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 1, "c": 1}, [("a", "b"), ("a", "c")]
+        )
+        report = validate_graph(graph)
+        assert any("sink" in problem for problem in report.problems)
+        relaxed = validate_graph(graph, require_single_sink=False)
+        assert relaxed.is_valid
+
+    def test_transitive_edge_detected(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 1, "c": 1},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        report = validate_graph(graph)
+        assert any("transitive" in problem for problem in report.problems)
+        relaxed = validate_graph(graph, forbid_transitive_edges=False)
+        assert relaxed.is_valid
+
+    def test_raise_if_invalid(self):
+        report = validate_graph(DirectedAcyclicGraph())
+        with pytest.raises(ValidationError):
+            report.raise_if_invalid()
+
+
+class TestValidateTask:
+    def test_paper_examples_are_valid(self):
+        assert validate_task(figure1_task()).is_valid
+        assert validate_task(figure3_task()).is_valid
+
+    def test_negative_period_rejected(self):
+        task = DagTask.from_wcets({"a": 1}, [])
+        task.period = -5
+        report = validate_task(task)
+        assert any("period" in problem for problem in report.problems)
+
+    def test_negative_deadline_rejected(self):
+        task = DagTask.from_wcets({"a": 1}, [])
+        task.deadline = 0
+        report = validate_task(task)
+        assert any("deadline" in problem for problem in report.problems)
+
+    def test_unconstrained_deadline_rejected(self):
+        task = DagTask.from_wcets({"a": 1}, [], period=5)
+        task.deadline = 9
+        report = validate_task(task)
+        assert any("constrained" in problem for problem in report.problems)
+
+    def test_strict_mode_raises(self):
+        task = DagTask.from_wcets({"a": 1}, [])
+        task.period = -1
+        with pytest.raises(ValidationError):
+            validate_task(task, strict=True)
+
+    def test_missing_offloaded_node_detected(self):
+        task = figure1_task()
+        task.offloaded_node = "ghost"
+        report = validate_task(task)
+        assert any("offloaded" in problem for problem in report.problems)
+
+
+class TestNormaliseTask:
+    def test_adds_dummy_source_and_sink(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 2, "b": 3, "c": 4}, [("a", "c"), ("b", "c")]
+        )
+        task = DagTask(graph=graph, name="fork")
+        repaired = normalise_task(task)
+        assert validate_task(repaired).is_valid
+        assert repaired.volume == task.volume
+        assert repaired.critical_path_length == task.critical_path_length
+
+    def test_removes_transitive_edges(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 2, "c": 3},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        task = DagTask(graph=graph)
+        repaired = normalise_task(task)
+        assert repaired.graph.transitive_edges() == []
+        assert repaired.graph.descendants("a") == {"b", "c"}
+
+    def test_preserves_offloaded_node_and_timing(self):
+        task = figure1_task(period=40, deadline=30)
+        repaired = normalise_task(task)
+        assert repaired.offloaded_node == "v_off"
+        assert repaired.period == 40
+        assert repaired.deadline == 30
+
+    def test_cyclic_graph_cannot_be_normalised(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 1}, [("a", "b"), ("b", "a")]
+        )
+        with pytest.raises(ValidationError):
+            normalise_task(DagTask(graph=graph))
+
+    def test_already_valid_task_is_unchanged(self):
+        task = figure1_task()
+        repaired = normalise_task(task)
+        assert repaired.graph == task.graph

@@ -1,0 +1,66 @@
+"""Tests for the ASCII visualisation helpers (:mod:`repro.visualization`)."""
+
+from __future__ import annotations
+
+from repro.core.examples import figure1_task, figure3_task
+from repro.core.transformation import transform
+from repro.simulation.engine import simulate
+from repro.simulation.platform import Platform
+from repro.simulation.trace import ExecutionTrace
+from repro.visualization.ascii_art import (
+    describe_task,
+    describe_transformation,
+    render_gantt,
+)
+
+
+class TestDescribeTask:
+    def test_mentions_every_node_and_the_metrics(self):
+        task = figure1_task(period=30)
+        text = describe_task(task)
+        for node in task.graph.nodes():
+            assert str(node) in text
+        assert "vol(G) = 18" in text
+        assert "len(G) = 8" in text
+        assert "offloaded node = v_off" in text
+        assert "period T = 30" in text
+
+    def test_homogeneous_task_has_no_offload_line(self):
+        text = describe_task(figure1_task().as_homogeneous())
+        assert "offloaded node" not in text
+
+
+class TestDescribeTransformation:
+    def test_summarises_the_algorithm_outcome(self):
+        transformed = transform(figure1_task())
+        text = describe_transformation(transformed)
+        assert "v_sync" in text
+        assert "len(G') = 10" in text
+        assert "|G_par| = 2" in text
+        assert "rerouted" in text
+
+
+class TestRenderGantt:
+    def test_contains_resources_nodes_and_makespan(self):
+        trace = simulate(figure1_task(), Platform(2, 1))
+        art = render_gantt(trace)
+        assert "core0" in art and "core1" in art and "acc0" in art
+        assert "makespan = 12" in art
+        assert "v3" in art
+
+    def test_zero_wcet_nodes_listed_separately(self):
+        transformed = transform(figure1_task())
+        trace = simulate(transformed.task, Platform(2, 1))
+        art = render_gantt(trace)
+        assert "v_sync@" in art
+
+    def test_empty_schedule(self):
+        trace = ExecutionTrace(task=figure1_task(), platform=Platform(1, 1))
+        assert render_gantt(trace) == "(empty schedule)"
+
+    def test_width_is_respected(self):
+        trace = simulate(figure3_task(), Platform(4, 1))
+        art = render_gantt(trace, width=40)
+        body_lines = [line for line in art.splitlines() if line.startswith("core")]
+        assert body_lines
+        assert all(len(line) <= 40 + 10 for line in body_lines)

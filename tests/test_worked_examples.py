@@ -1,0 +1,107 @@
+"""Regression tests pinning the paper's worked examples (Figures 1–3).
+
+The Figure 1 numbers are also asserted by the experiment and simulation
+tests; this module additionally pins the *structural* facts of both example
+tasks so that accidental edits to :mod:`repro.core.examples` (which the
+documentation, the benchmarks and many tests rely on) are caught directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyse
+from repro.core.examples import figure1_task, figure2_expected_edges, figure3_task
+from repro.core.transformation import transform
+from repro.core.validation import validate_task
+
+
+class TestFigure1Task:
+    def test_structure(self):
+        task = figure1_task()
+        assert task.node_count == 6
+        assert task.graph.edge_count == 7
+        assert task.offloaded_node == "v_off"
+        assert task.graph.sources() == ["v1"]
+        assert task.graph.sinks() == ["v5"]
+        assert validate_task(task).is_valid
+
+    def test_paper_metrics(self):
+        task = figure1_task()
+        assert task.volume == 18
+        assert task.critical_path_length == 8
+        assert task.critical_path() == ["v1", "v3", "v5"]
+        assert task.offloaded_wcet == 4
+
+    def test_all_three_bounds(self):
+        results = analyse(figure1_task(), 2)
+        assert results["hom"].bound == 13
+        assert results["naive"].bound == 11
+        assert results["het"].bound == 12
+
+    def test_timing_parameters_are_optional(self):
+        assert figure1_task().period is None
+        timed = figure1_task(period=30, deadline=25)
+        assert timed.period == 30 and timed.deadline == 25
+
+    def test_expected_transformed_edges_are_consistent(self):
+        edges = figure2_expected_edges()
+        assert ("v_sync", "v_off") in edges
+        assert ("v4", "v_sync") in edges
+        assert len(edges) == 8
+
+
+class TestFigure3Task:
+    def test_structure(self):
+        task = figure3_task()
+        assert task.node_count == 12
+        assert task.graph.sources() == ["v1"]
+        assert task.graph.sinks() == ["v10"]
+        assert validate_task(task).is_valid
+
+    def test_predecessor_classification(self):
+        task = figure3_task()
+        assert task.graph.predecessors("v_off") == {"v8", "v9"}
+        assert task.predecessors_of_offloaded() == {"v1", "v3", "v8", "v9"}
+        assert task.successors_of_offloaded() == {"v10"}
+        assert task.parallel_nodes_to_offloaded() == {
+            "v2",
+            "v4",
+            "v5",
+            "v6",
+            "v7",
+            "v11",
+        }
+
+    def test_metrics(self):
+        task = figure3_task()
+        assert task.volume == sum(
+            [2, 3, 4, 5, 3, 1, 2, 3, 2, 2, 4, 6]
+        )
+        # Critical path: v1 -> v3 -> v8 -> v_off -> v10.
+        assert task.critical_path_length == 2 + 4 + 3 + 6 + 2
+        assert task.offloaded_on_critical_path()
+
+    def test_transformation_covers_every_algorithm_branch(self):
+        transformed = transform(figure3_task())
+        rerouted = set(transformed.rerouted_edges)
+        # One direct-predecessor parallel edge and two indirect ones.
+        assert ("v8", "v11") in rerouted
+        assert ("v1", "v2") in rerouted
+        assert ("v3", "v7") in rerouted
+        assert len(transformed.direct_predecessors) == 2
+
+    @pytest.mark.parametrize("cores", [2, 4])
+    def test_heterogeneous_bound_beats_homogeneous_on_small_hosts(self, cores):
+        results = analyse(figure3_task(), cores)
+        # C_off is ~16% of the volume here, comfortably past the crossover
+        # for small hosts.
+        assert results["het"].bound <= results["hom"].bound
+
+    def test_homogeneous_bound_can_win_on_large_hosts(self):
+        # The transformation stretches the critical path from 17 to 19; with
+        # m = 8 the interference term it saves is divided by 8 and no longer
+        # compensates the elongation -- exactly the effect behind the
+        # small-C_off region of Figures 6 and 9.
+        results = analyse(figure3_task(), 8)
+        assert results["hom"].bound < results["het"].bound
