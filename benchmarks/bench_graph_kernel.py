@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Micro-benchmarks of the cached dense-index graph kernel.
+
+Measures, on layered random DAGs of 50 / 500 / 2000 nodes:
+
+* repeated **critical-path** queries -- cached vs. uncached (the uncached
+  baseline calls :meth:`~repro.core.graph.DirectedAcyclicGraph.invalidate_caches`
+  before every query, which is exactly what the kernel did implicitly before
+  the cache existed: recompute the topological order and the longest-path
+  labelling from scratch);
+* repeated **reachability** queries (``are_parallel``/``descendants``) --
+  cached bitmask tables vs. per-query BFS cost;
+* the **batched analysis** (:func:`repro.analysis.batch.analyse_many`,
+  one transformation per task shared across host sizes) vs. the naive
+  per-``(task, m)`` loop.
+
+Aggregated results are written to ``BENCH_PR1.json`` at the repository root
+so the performance trajectory of the project is tracked across PRs.
+
+Run with:  python benchmarks/bench_graph_kernel.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis import analyse, analyse_many  # noqa: E402
+from repro.core.graph import DirectedAcyclicGraph  # noqa: E402
+from repro.core.task import DagTask  # noqa: E402
+
+#: DAG sizes of the sweep (node counts).
+SIZES = (50, 500, 2000)
+
+#: Host sizes used by the batched-analysis scenario.
+CORES = (2, 4, 8)
+
+OUTPUT = _REPO_ROOT / "BENCH_PR1.json"
+
+
+def make_layered_dag(nodes: int, width: int, seed: int) -> DirectedAcyclicGraph:
+    """A deterministic layered DAG: every node links back to 1-3 nodes of the
+    previous layer, the structural shape the paper's generator produces."""
+    rng = np.random.default_rng(seed)
+    graph = DirectedAcyclicGraph()
+    layers: list[list[str]] = []
+    created = 0
+    while created < nodes:
+        layer = []
+        for _ in range(min(width, nodes - created)):
+            name = f"v{created}"
+            graph.add_node(name, int(rng.integers(1, 100)))
+            layer.append(name)
+            created += 1
+        if len(layers) > 0:
+            previous = layers[-1]
+            for name in layer:
+                fan_in = 1 + int(rng.integers(0, min(3, len(previous))))
+                for src in rng.choice(previous, size=fan_in, replace=False):
+                    if not graph.has_edge(str(src), name):
+                        graph.add_edge(str(src), name)
+        layers.append(layer)
+    return graph
+
+
+def _time_per_op(operation, repetitions: int) -> float:
+    """Average seconds per call over ``repetitions`` calls."""
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        operation()
+    return (time.perf_counter() - start) / repetitions
+
+
+def bench_critical_path(graph: DirectedAcyclicGraph) -> dict:
+    """Repeated ``critical_path_length`` queries, cached vs uncached."""
+
+    def cached() -> None:
+        graph.critical_path_length()
+
+    def uncached() -> None:
+        graph.invalidate_caches()
+        graph.critical_path_length()
+
+    graph.critical_path_length()  # warm
+    cached_s = _time_per_op(cached, 2000)
+    uncached_s = _time_per_op(uncached, 30)
+    return {
+        "cached_us": cached_s * 1e6,
+        "uncached_us": uncached_s * 1e6,
+        "speedup": uncached_s / cached_s,
+    }
+
+
+def bench_reachability(graph: DirectedAcyclicGraph, seed: int) -> dict:
+    """Repeated ``are_parallel`` queries over a fixed pair sample."""
+    rng = np.random.default_rng(seed)
+    names = graph.nodes()
+    pairs = [
+        (names[int(a)], names[int(b)])
+        for a, b in zip(
+            rng.integers(0, len(names), size=64), rng.integers(0, len(names), size=64)
+        )
+    ]
+
+    def cached() -> None:
+        for a, b in pairs:
+            graph.are_parallel(a, b)
+
+    def uncached() -> None:
+        for a, b in pairs:
+            graph.invalidate_caches()
+            graph.are_parallel(a, b)
+
+    cached()  # warm
+    cached_s = _time_per_op(cached, 50) / len(pairs)
+    uncached_s = _time_per_op(uncached, 2) / len(pairs)
+    return {
+        "pairs": len(pairs),
+        "cached_us": cached_s * 1e6,
+        "uncached_us": uncached_s * 1e6,
+        "speedup": uncached_s / cached_s,
+    }
+
+
+def bench_batched_analysis(size: int, seed: int) -> dict:
+    """Batched ``analyse_many`` vs the naive per-``(task, m)`` loop."""
+    task_count = max(2, 24 // max(1, size // 100))
+    tasks = []
+    for index in range(task_count):
+        graph = make_layered_dag(size, max(4, size // 12), seed + index)
+        offloaded = graph.nodes()[size // 2]
+        tasks.append(
+            DagTask(graph=graph, offloaded_node=offloaded, name=f"bench_{size}_{index}")
+        )
+
+    def naive() -> None:
+        for task in tasks:
+            task.graph.invalidate_caches()
+        for cores in CORES:
+            for task in tasks:
+                analyse(task, cores)
+
+    def batched() -> None:
+        for task in tasks:
+            task.graph.invalidate_caches()
+        analyse_many(tasks, cores=CORES)
+
+    naive()  # warm imports and allocators
+    naive_s = _time_per_op(naive, 3)
+    batched_s = _time_per_op(batched, 3)
+    return {
+        "tasks": task_count,
+        "core_counts": list(CORES),
+        "naive_ms": naive_s * 1e3,
+        "batched_ms": batched_s * 1e3,
+        "speedup": naive_s / batched_s,
+    }
+
+
+def main() -> dict:
+    document: dict = {
+        "benchmark": "graph_kernel",
+        "pr": 1,
+        "description": (
+            "Cached dense-index graph kernel vs uncached recomputation, and "
+            "batched vs naive analysis (see docs/performance.md)."
+        ),
+        "sizes": list(SIZES),
+        "results": [],
+    }
+    query_speedups = []
+    for size in SIZES:
+        width = max(4, size // 12)
+        graph = make_layered_dag(size, width, seed=size)
+        entry = {
+            "size": size,
+            "edges": graph.edge_count,
+            "critical_path": bench_critical_path(graph),
+            "reachability": bench_reachability(graph, seed=size + 1),
+            "batched_analysis": bench_batched_analysis(size, seed=size + 2),
+        }
+        query_speedups.append(entry["critical_path"]["speedup"])
+        query_speedups.append(entry["reachability"]["speedup"])
+        document["results"].append(entry)
+        print(
+            f"n={size:5d}  critical-path x{entry['critical_path']['speedup']:8.1f}  "
+            f"reachability x{entry['reachability']['speedup']:8.1f}  "
+            f"batched-analysis x{entry['batched_analysis']['speedup']:5.2f}"
+        )
+    document["min_query_speedup"] = min(query_speedups)
+    OUTPUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"\nresults written to {OUTPUT}")
+    print(f"minimum cached-query speedup: x{document['min_query_speedup']:.1f}")
+    return document
+
+
+if __name__ == "__main__":
+    main()

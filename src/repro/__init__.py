@@ -14,6 +14,8 @@ See :mod:`repro.core`, :mod:`repro.analysis`, :mod:`repro.generator`,
 from .analysis import (
     ResponseTimeResult,
     Scenario,
+    TaskAnalysis,
+    analyse_many,
     classify_scenario,
     compare,
     heterogeneous_response_time,
@@ -62,6 +64,8 @@ __all__ = [
     "heterogeneous_response_time",
     "naive_unsafe_response_time",
     "classify_scenario",
+    "analyse_many",
+    "TaskAnalysis",
     "compare",
     "percentage_change",
     # generation

@@ -6,10 +6,13 @@
   the transformed task, plus the naive unsafe bound of Section 3.2.
 * :mod:`repro.analysis.comparison` -- percentage-change helpers used by the
   evaluation figures.
+* :mod:`repro.analysis.batch` -- batched (and optionally process-parallel)
+  analysis of task ensembles, transforming each task exactly once.
 * :mod:`repro.analysis.schedulability` -- deadline tests, core dimensioning
   and federated task-set partitioning built on top of the bounds.
 """
 
+from .batch import TaskAnalysis, analyse_many
 from .comparison import AnalysisComparison, compare, percentage_change, percentage_increment
 from .heterogeneous import (
     analyse,
@@ -44,6 +47,8 @@ __all__ = [
     "naive_unsafe_response_time",
     "classify_scenario",
     "analyse",
+    "analyse_many",
+    "TaskAnalysis",
     "compare",
     "AnalysisComparison",
     "percentage_change",

@@ -83,6 +83,21 @@ def _as_transformed(
     return transform(task_or_transformed)
 
 
+def _gpar_response(transformed: TransformedTask, cores: int) -> float:
+    """``R_hom(G_par)``, memoised per core count on the transformed task.
+
+    Both :func:`classify_scenario` and :func:`response_time` need this value;
+    the memo makes evaluating one task across many host sizes (as every
+    figure of the paper does) compute each ``R_hom(G_par)`` exactly once.
+    """
+    key = ("R_hom_Gpar", cores)
+    cached = transformed.metrics_cache.get(key)
+    if cached is None:
+        cached = graph_response_time(transformed.gpar, cores)
+        transformed.metrics_cache[key] = cached
+    return cached
+
+
 def classify_scenario(
     task_or_transformed: Union[DagTask, TransformedTask], cores: int
 ) -> Scenario:
@@ -99,12 +114,18 @@ def classify_scenario(
         ``R_hom(G_par)``.
     """
     transformed = _as_transformed(task_or_transformed)
+    key = ("scenario", cores)
+    cached = transformed.metrics_cache.get(key)
+    if cached is not None:
+        return cached
     if not transformed.offloaded_on_critical_path():
-        return Scenario.SCENARIO_1
-    gpar_response = graph_response_time(transformed.gpar, cores)
-    if transformed.offloaded_wcet >= gpar_response - _TOLERANCE:
-        return Scenario.SCENARIO_2_1
-    return Scenario.SCENARIO_2_2
+        scenario = Scenario.SCENARIO_1
+    elif transformed.offloaded_wcet >= _gpar_response(transformed, cores) - _TOLERANCE:
+        scenario = Scenario.SCENARIO_2_1
+    else:
+        scenario = Scenario.SCENARIO_2_2
+    transformed.metrics_cache[key] = scenario
+    return scenario
 
 
 def response_time(
@@ -147,7 +168,7 @@ def response_time(
     offloaded = transformed.offloaded_wcet
     gpar_length = transformed.gpar_length()
     gpar_volume = transformed.gpar_volume()
-    gpar_response = graph_response_time(transformed.gpar, cores)
+    gpar_response = _gpar_response(transformed, cores)
 
     if scenario is Scenario.SCENARIO_1:
         interference = (volume - length - offloaded) / cores

@@ -39,7 +39,7 @@ from .core.exceptions import ReproError
 from .core.task import DagTask
 from .core.transformation import transform
 from .experiments.config import paper_scale, quick_scale
-from .experiments.runner import available_experiments, run_experiment
+from .experiments.runner import available_experiments, run_all
 from .experiments.tables import render_result, write_csv
 from .generator.config import OffloadConfig
 from .generator.offload import make_heterogeneous
@@ -183,23 +183,34 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suffixed(path: str, name: str, multiple: bool) -> Path:
+    """Insert ``-<name>`` before the extension when exporting several results."""
+    base = Path(path)
+    if not multiple:
+        return base
+    return base.with_name(f"{base.stem}-{name}{base.suffix}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     scale = paper_scale() if args.scale == "paper" else quick_scale()
     if args.dags is not None:
         scale = scale.with_dags_per_point(args.dags)
     if args.seed is not None:
         scale = scale.with_seed(args.seed)
-    result = run_experiment(args.name, scale)
-    print(render_result(result))
-    for series in result.series:
-        if series.metadata:
-            print(f"  [{series.label}] {series.metadata}")
-    if args.csv:
-        path = write_csv(result, args.csv)
-        print(f"\nCSV written to {path}")
-    if args.json:
-        result.to_json(args.json)
-        print(f"JSON written to {args.json}")
+    names = available_experiments() if args.name == "all" else [args.name]
+    results = run_all(scale, names=names, jobs=args.jobs)
+    for result in results.values():
+        print(render_result(result))
+        for series in result.series:
+            if series.metadata:
+                print(f"  [{series.label}] {series.metadata}")
+        if args.csv:
+            path = write_csv(result, _suffixed(args.csv, result.name, len(results) > 1))
+            print(f"\nCSV written to {path}")
+        if args.json:
+            path = _suffixed(args.json, result.name, len(results) > 1)
+            result.to_json(path)
+            print(f"JSON written to {path}")
     return 0
 
 
@@ -275,10 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd = subparsers.add_parser(
         "experiment", help="run a paper experiment"
     )
-    experiment_cmd.add_argument("name", choices=available_experiments())
+    experiment_cmd.add_argument("name", choices=available_experiments() + ["all"])
     experiment_cmd.add_argument("--scale", choices=("quick", "paper"), default="quick")
     experiment_cmd.add_argument("--dags", type=int, default=None)
     experiment_cmd.add_argument("--seed", type=int, default=None)
+    experiment_cmd.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the sweep evaluation (default: serial; "
+        "-1 = all cores); results are bit-identical to the serial run",
+    )
     experiment_cmd.add_argument("--csv", default=None)
     experiment_cmd.add_argument("--json", default=None)
     experiment_cmd.set_defaults(func=_cmd_experiment)

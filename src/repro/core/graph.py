@@ -15,6 +15,32 @@ implementation with exactly the operations required by the analysis:
 The implementation intentionally avoids :mod:`networkx` so that every
 algorithmic step of the reproduction is explicit; networkx is only used as an
 independent oracle in the test-suite.
+
+Performance architecture
+------------------------
+Every analysis and experiment of the reproduction bottoms out in the same
+handful of structural queries, repeated thousands of times over large DAG
+ensembles.  The graph therefore maintains a *dense-index kernel* and a
+generation-stamped metric cache (see ``docs/performance.md``):
+
+* node identifiers are interned into dense integer indices ``0..n-1`` (in
+  insertion order) with CSR-style adjacency arrays, rebuilt lazily at most
+  once per *structural generation*;
+* reachability (``descendants``/``ancestors``/``has_path``/``are_parallel``)
+  is answered from per-node bitmasks (Python integers used as bitsets)
+  computed once per structural generation instead of one BFS per query;
+* the derived metrics (``topological_order``, ``volume``,
+  ``critical_path_length``, ``earliest_finish_times``,
+  ``longest_tail_lengths``, ``transitive_closure``, ...) are cached and
+  invalidated by two generation counters: one bumped by structural mutation
+  (nodes/edges) and one bumped by weight mutation (:meth:`set_wcet`), so that
+  re-weighting a node -- the hot path of the paired ``C_off`` sweeps --
+  preserves the reachability tables.
+
+All cached state is an implementation detail: mutating a returned container
+never corrupts the cache (mutable results are copied on return), pickling
+drops the caches, and cyclic graphs transparently fall back to the original
+breadth-first algorithms.
 """
 
 from __future__ import annotations
@@ -37,6 +63,89 @@ __all__ = ["NodeId", "DirectedAcyclicGraph"]
 NodeId = Hashable
 
 
+class _DenseKernel:
+    """Immutable dense-integer view of the graph at one structural generation.
+
+    Node identifiers are interned into indices ``0..n-1`` in insertion order;
+    adjacency is stored as CSR-style flat arrays (``ptr``/``idx`` pairs with
+    neighbour indices sorted ascending, i.e. by insertion order).  The
+    reachability bitmask tables are built lazily because not every workload
+    needs them.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "succ_ptr",
+        "succ_idx",
+        "pred_ptr",
+        "pred_idx",
+        "topo",
+        "_desc_masks",
+        "_anc_masks",
+    )
+
+    def __init__(
+        self,
+        nodes: list[NodeId],
+        index: dict[NodeId, int],
+        succ_ptr: list[int],
+        succ_idx: list[int],
+        pred_ptr: list[int],
+        pred_idx: list[int],
+        topo: list[int],
+    ) -> None:
+        self.nodes = nodes
+        self.index = index
+        self.succ_ptr = succ_ptr
+        self.succ_idx = succ_idx
+        self.pred_ptr = pred_ptr
+        self.pred_idx = pred_idx
+        self.topo = topo
+        self._desc_masks: Optional[list[int]] = None
+        self._anc_masks: Optional[list[int]] = None
+
+    def successors_of(self, i: int) -> list[int]:
+        return self.succ_idx[self.succ_ptr[i] : self.succ_ptr[i + 1]]
+
+    def predecessors_of(self, i: int) -> list[int]:
+        return self.pred_idx[self.pred_ptr[i] : self.pred_ptr[i + 1]]
+
+    def descendant_masks(self) -> list[int]:
+        """Bitmask of (strict) descendants per dense index, built once."""
+        if self._desc_masks is None:
+            masks = [0] * len(self.nodes)
+            ptr, idx = self.succ_ptr, self.succ_idx
+            for i in reversed(self.topo):
+                acc = 0
+                for s in idx[ptr[i] : ptr[i + 1]]:
+                    acc |= masks[s] | (1 << s)
+                masks[i] = acc
+            self._desc_masks = masks
+        return self._desc_masks
+
+    def ancestor_masks(self) -> list[int]:
+        """Bitmask of (strict) ancestors per dense index, built once."""
+        if self._anc_masks is None:
+            masks = [0] * len(self.nodes)
+            ptr, idx = self.pred_ptr, self.pred_idx
+            for i in self.topo:
+                acc = 0
+                for p in idx[ptr[i] : ptr[i + 1]]:
+                    acc |= masks[p] | (1 << p)
+                masks[i] = acc
+            self._anc_masks = masks
+        return self._anc_masks
+
+    @staticmethod
+    def bits(mask: int) -> Iterator[int]:
+        """Indices of the set bits of ``mask``, ascending."""
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+
 class DirectedAcyclicGraph:
     """A weighted directed acyclic graph.
 
@@ -46,7 +155,9 @@ class DirectedAcyclicGraph:
     complete before ``dst`` may start.
 
     The class maintains adjacency in both directions so that predecessor and
-    successor queries are O(out-degree)/O(in-degree).  Acyclicity is *not*
+    successor queries are O(out-degree)/O(in-degree), and a generation-stamped
+    cache of the derived metrics (see the module docstring) so that repeated
+    queries between mutations cost a dictionary lookup.  Acyclicity is *not*
     enforced on every mutation (generators build graphs incrementally); call
     :meth:`check_acyclic` or :meth:`topological_order` to verify it.
 
@@ -66,6 +177,139 @@ class DirectedAcyclicGraph:
         self._wcet: dict[NodeId, float] = {}
         self._succ: dict[NodeId, set[NodeId]] = {}
         self._pred: dict[NodeId, set[NodeId]] = {}
+        self._init_caches()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _init_caches(self) -> None:
+        #: Bumped by every mutation of the node or edge sets.
+        self._structure_generation: int = 0
+        #: Bumped by every WCET update (and by node addition/removal).
+        self._weights_generation: int = 0
+        self._kernel_cache: Optional[_DenseKernel] = None
+        self._kernel_generation: int = -1
+        #: ``key -> (stamp, value)``; the stamp is the structure generation
+        #: for purely structural results and the ``(structure, weights)``
+        #: pair for weight-dependent ones.
+        self._metric_cache: dict[str, tuple[object, object]] = {}
+
+    def _touch_structure(self) -> None:
+        self._structure_generation += 1
+
+    def _touch_weights(self) -> None:
+        self._weights_generation += 1
+
+    @property
+    def cache_generation(self) -> tuple[int, int]:
+        """The ``(structure, weights)`` generation pair of the cache.
+
+        Exposed for tests and benchmarks; two equal pairs on the same graph
+        object guarantee that cached metrics were reused in between.
+        """
+        return (self._structure_generation, self._weights_generation)
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached kernel and metric (results are unaffected).
+
+        Normal code never needs this -- mutations invalidate automatically
+        via the generation counters.  The micro-benchmarks call it to measure
+        the uncached baseline.
+        """
+        self._structure_generation += 1
+        self._weights_generation += 1
+        self._kernel_cache = None
+        self._metric_cache.clear()
+
+    def _structural(self, key: str, compute):
+        """Memoise ``compute()`` until the next structural mutation."""
+        stamp = self._structure_generation
+        entry = self._metric_cache.get(key)
+        if entry is not None and entry[0] == stamp:
+            return entry[1]
+        value = compute()
+        self._metric_cache[key] = (stamp, value)
+        return value
+
+    def _weighted(self, key: str, compute):
+        """Memoise ``compute()`` until the next structural or WCET mutation."""
+        stamp = (self._structure_generation, self._weights_generation)
+        entry = self._metric_cache.get(key)
+        if entry is not None and entry[0] == stamp:
+            return entry[1]
+        value = compute()
+        self._metric_cache[key] = (stamp, value)
+        return value
+
+    def _kernel(self) -> _DenseKernel:
+        """The dense-index kernel for the current structure.
+
+        Raises
+        ------
+        CycleError
+            If the graph contains a cycle (nothing is cached in that case).
+        """
+        if (
+            self._kernel_cache is not None
+            and self._kernel_generation == self._structure_generation
+        ):
+            return self._kernel_cache
+
+        nodes = list(self._wcet)
+        index = {node: i for i, node in enumerate(nodes)}
+        succ_ptr = [0]
+        succ_idx: list[int] = []
+        pred_ptr = [0]
+        pred_idx: list[int] = []
+        for node in nodes:
+            succ_idx.extend(sorted(index[s] for s in self._succ[node]))
+            succ_ptr.append(len(succ_idx))
+            pred_idx.extend(sorted(index[p] for p in self._pred[node]))
+            pred_ptr.append(len(pred_idx))
+
+        # Kahn's algorithm with insertion-order tie-breaking; dense indices
+        # *are* insertion ranks, so sorting newly ready indices ascending
+        # reproduces the historical (pre-kernel) ordering exactly.
+        in_degree = [pred_ptr[i + 1] - pred_ptr[i] for i in range(len(nodes))]
+        ready = deque(i for i in range(len(nodes)) if in_degree[i] == 0)
+        topo: list[int] = []
+        while ready:
+            i = ready.popleft()
+            topo.append(i)
+            newly_ready = []
+            for s in succ_idx[succ_ptr[i] : succ_ptr[i + 1]]:
+                in_degree[s] -= 1
+                if in_degree[s] == 0:
+                    newly_ready.append(s)
+            newly_ready.sort()
+            ready.extend(newly_ready)
+        if len(topo) != len(nodes):
+            raise CycleError("graph contains a cycle", cycle=self.find_cycle())
+
+        kernel = _DenseKernel(
+            nodes, index, succ_ptr, succ_idx, pred_ptr, pred_idx, topo
+        )
+        self._kernel_cache = kernel
+        self._kernel_generation = self._structure_generation
+        return kernel
+
+    def _acyclic_kernel(self) -> Optional[_DenseKernel]:
+        """The kernel, or ``None`` when the graph currently has a cycle."""
+        try:
+            return self._kernel()
+        except CycleError:
+            return None
+
+    def __getstate__(self) -> dict:
+        # Caches are cheap to rebuild and may be large; never pickle them
+        # (the parallel experiment runner ships graphs between processes).
+        return {"_wcet": self._wcet, "_succ": self._succ, "_pred": self._pred}
+
+    def __setstate__(self, state: dict) -> None:
+        self._wcet = state["_wcet"]
+        self._succ = state["_succ"]
+        self._pred = state["_pred"]
+        self._init_caches()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -94,11 +338,21 @@ class DirectedAcyclicGraph:
         return graph
 
     def copy(self) -> "DirectedAcyclicGraph":
-        """Return a deep (structural) copy of the graph."""
+        """Return a deep (structural) copy of the graph.
+
+        Valid cache entries are shared with the copy: cached values are never
+        mutated in place (public accessors return fresh containers), so the
+        clone can keep serving them until its first own mutation.
+        """
         clone = DirectedAcyclicGraph()
         clone._wcet = dict(self._wcet)
         clone._succ = {node: set(nbrs) for node, nbrs in self._succ.items()}
         clone._pred = {node: set(nbrs) for node, nbrs in self._pred.items()}
+        clone._structure_generation = self._structure_generation
+        clone._weights_generation = self._weights_generation
+        clone._kernel_cache = self._kernel_cache
+        clone._kernel_generation = self._kernel_generation
+        clone._metric_cache = dict(self._metric_cache)
         return clone
 
     # ------------------------------------------------------------------
@@ -121,6 +375,8 @@ class DirectedAcyclicGraph:
         self._wcet[node_id] = wcet
         self._succ[node_id] = set()
         self._pred[node_id] = set()
+        self._touch_structure()
+        self._touch_weights()
 
     def remove_node(self, node_id: NodeId) -> None:
         """Remove a node together with all its incident edges."""
@@ -132,6 +388,8 @@ class DirectedAcyclicGraph:
         del self._succ[node_id]
         del self._pred[node_id]
         del self._wcet[node_id]
+        self._touch_structure()
+        self._touch_weights()
 
     def add_edge(self, src: NodeId, dst: NodeId) -> None:
         """Add the precedence edge ``src -> dst``.
@@ -151,6 +409,7 @@ class DirectedAcyclicGraph:
             raise EdgeError(f"edge ({src!r}, {dst!r}) already exists")
         self._succ[src].add(dst)
         self._pred[dst].add(src)
+        self._touch_structure()
 
     def remove_edge(self, src: NodeId, dst: NodeId) -> None:
         """Remove the edge ``src -> dst``."""
@@ -160,13 +419,20 @@ class DirectedAcyclicGraph:
             raise EdgeError(f"edge ({src!r}, {dst!r}) does not exist")
         self._succ[src].discard(dst)
         self._pred[dst].discard(src)
+        self._touch_structure()
 
     def set_wcet(self, node_id: NodeId, wcet: float) -> None:
-        """Update the WCET of an existing node."""
+        """Update the WCET of an existing node.
+
+        This invalidates only the weight-dependent caches; the dense kernel
+        and the reachability tables survive (re-weighting is the hot path of
+        the paired ``C_off`` sweeps).
+        """
         self._require(node_id)
         if wcet < 0:
             raise ValueError(f"WCET of node {node_id!r} must be >= 0, got {wcet}")
         self._wcet[node_id] = wcet
+        self._touch_weights()
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -253,44 +519,24 @@ class DirectedAcyclicGraph:
 
         Ties are broken by node insertion order, which makes the ordering --
         and everything derived from it, such as the breadth-first scheduler --
-        deterministic.
+        deterministic.  The ordering is cached until the next structural
+        mutation.
 
         Raises
         ------
         CycleError
             If the graph contains a cycle.
         """
-        in_degree = {node: len(self._pred[node]) for node in self._wcet}
-        order_index = {node: index for index, node in enumerate(self._wcet)}
-        ready = deque(node for node in self._wcet if in_degree[node] == 0)
-        order: list[NodeId] = []
-        while ready:
-            node = ready.popleft()
-            order.append(node)
-            newly_ready = []
-            for succ in self._succ[node]:
-                in_degree[succ] -= 1
-                if in_degree[succ] == 0:
-                    newly_ready.append(succ)
-            newly_ready.sort(key=order_index.__getitem__)
-            ready.extend(newly_ready)
-        if len(order) != len(self._wcet):
-            raise CycleError(
-                "graph contains a cycle", cycle=self.find_cycle()
-            )
-        return order
+        kernel = self._kernel()
+        return [kernel.nodes[i] for i in kernel.topo]
 
     def is_acyclic(self) -> bool:
         """Return ``True`` if the graph contains no directed cycle."""
-        try:
-            self.topological_order()
-        except CycleError:
-            return False
-        return True
+        return self._acyclic_kernel() is not None
 
     def check_acyclic(self) -> None:
         """Raise :class:`CycleError` if the graph contains a cycle."""
-        self.topological_order()
+        self._kernel()
 
     def find_cycle(self) -> Optional[list[NodeId]]:
         """Return one directed cycle as a list of nodes, or ``None``.
@@ -335,10 +581,15 @@ class DirectedAcyclicGraph:
     def descendants(self, node_id: NodeId) -> set[NodeId]:
         """All nodes reachable from ``node_id`` (``Succ(v)`` in the paper).
 
-        The node itself is *not* included.
+        The node itself is *not* included.  Served from the cached bitmask
+        reachability table on acyclic graphs.
         """
         self._require(node_id)
-        return self._reach(node_id, self._succ)
+        kernel = self._acyclic_kernel()
+        if kernel is None:
+            return self._reach(node_id, self._succ)
+        mask = kernel.descendant_masks()[kernel.index[node_id]]
+        return {kernel.nodes[i] for i in _DenseKernel.bits(mask)}
 
     def ancestors(self, node_id: NodeId) -> set[NodeId]:
         """All nodes from which ``node_id`` is reachable (``Pred(v)``).
@@ -346,11 +597,16 @@ class DirectedAcyclicGraph:
         The node itself is *not* included.
         """
         self._require(node_id)
-        return self._reach(node_id, self._pred)
+        kernel = self._acyclic_kernel()
+        if kernel is None:
+            return self._reach(node_id, self._pred)
+        mask = kernel.ancestor_masks()[kernel.index[node_id]]
+        return {kernel.nodes[i] for i in _DenseKernel.bits(mask)}
 
     def _reach(
         self, start: NodeId, adjacency: Mapping[NodeId, set[NodeId]]
     ) -> set[NodeId]:
+        """Breadth-first reachability; fallback for graphs with cycles."""
         seen: set[NodeId] = set()
         frontier = deque(adjacency[start])
         while frontier:
@@ -367,7 +623,11 @@ class DirectedAcyclicGraph:
         self._require(dst)
         if src == dst:
             return True
-        return dst in self.descendants(src)
+        kernel = self._acyclic_kernel()
+        if kernel is None:
+            return dst in self._reach(src, self._succ)
+        masks = kernel.descendant_masks()
+        return bool(masks[kernel.index[src]] >> kernel.index[dst] & 1)
 
     def are_parallel(self, first: NodeId, second: NodeId) -> bool:
         """Return ``True`` when neither node can reach the other.
@@ -388,7 +648,7 @@ class DirectedAcyclicGraph:
         In the paper's system model the volume is the WCET of the task when
         executed entirely sequentially.
         """
-        return sum(self._wcet.values())
+        return self._weighted("volume", lambda: sum(self._wcet.values()))
 
     def critical_path_length(self) -> float:
         """``len(G)``: the length of the longest weighted path.
@@ -396,10 +656,12 @@ class DirectedAcyclicGraph:
         Node weights (WCETs) are summed along the path; edge weights do not
         exist in this model.  For the empty graph the length is ``0``.
         """
+        return self._weighted("critical_path_length", self._compute_length)
+
+    def _compute_length(self) -> float:
         if not self._wcet:
             return 0
-        finish = self.earliest_finish_times()
-        return max(finish.values())
+        return max(self._finish_map().values())
 
     def critical_path(self) -> list[NodeId]:
         """Return one critical (longest) path as an ordered list of nodes.
@@ -407,30 +669,51 @@ class DirectedAcyclicGraph:
         Ties are broken deterministically by node insertion order so the
         returned path is stable across runs.
         """
+        return list(self._weighted("critical_path", self._compute_critical_path))
+
+    def _compute_critical_path(self) -> list[NodeId]:
         if not self._wcet:
             return []
-        order = self.topological_order()
-        order_index = {node: index for index, node in enumerate(self._wcet)}
-        finish: dict[NodeId, float] = {}
-        best_pred: dict[NodeId, Optional[NodeId]] = {}
-        for node in order:
-            candidates = sorted(self._pred[node], key=order_index.__getitem__)
-            best: Optional[NodeId] = None
+        kernel = self._kernel()
+        wcets = [self._wcet[node] for node in kernel.nodes]
+        finish: list[float] = [0] * len(kernel.nodes)
+        best_pred: list[Optional[int]] = [None] * len(kernel.nodes)
+        for i in kernel.topo:
+            best: Optional[int] = None
             best_finish = 0.0
-            for pred in candidates:
-                if finish[pred] > best_finish:
-                    best_finish = finish[pred]
-                    best = pred
-            finish[node] = best_finish + self._wcet[node]
-            best_pred[node] = best
-        end = max(order, key=lambda node: (finish[node], -order_index[node]))
+            # Predecessor indices are sorted ascending (= insertion order)
+            # and the comparison is strict, so ties resolve to the earliest
+            # inserted predecessor, as they always have.
+            for p in kernel.predecessors_of(i):
+                if finish[p] > best_finish:
+                    best_finish = finish[p]
+                    best = p
+            finish[i] = best_finish + wcets[i]
+            best_pred[i] = best
+        end = max(kernel.topo, key=lambda i: (finish[i], -i))
         path = [end]
         cursor = best_pred[end]
         while cursor is not None:
             path.append(cursor)
             cursor = best_pred[cursor]
         path.reverse()
-        return path
+        return [kernel.nodes[i] for i in path]
+
+    def _finish_map(self) -> dict[NodeId, float]:
+        """Cached ``earliest_finish_times`` mapping (do not mutate)."""
+        return self._weighted("earliest_finish_times", self._compute_finish_map)
+
+    def _compute_finish_map(self) -> dict[NodeId, float]:
+        kernel = self._kernel()
+        finish: dict[NodeId, float] = {}
+        for i in kernel.topo:
+            node = kernel.nodes[i]
+            longest_pred = max(
+                (finish[kernel.nodes[p]] for p in kernel.predecessors_of(i)),
+                default=0,
+            )
+            finish[node] = longest_pred + self._wcet[node]
+        return finish
 
     def earliest_finish_times(self) -> dict[NodeId, float]:
         """Length of the longest path *ending* at each node (inclusive).
@@ -439,11 +722,23 @@ class DirectedAcyclicGraph:
         infinitely parallel machine.  Used both by the critical-path
         computation and by the simulator's sanity checks.
         """
-        finish: dict[NodeId, float] = {}
-        for node in self.topological_order():
-            longest_pred = max((finish[p] for p in self._pred[node]), default=0)
-            finish[node] = longest_pred + self._wcet[node]
-        return finish
+        return dict(self._finish_map())
+
+    def _tail_map(self) -> dict[NodeId, float]:
+        """Cached ``longest_tail_lengths`` mapping (do not mutate)."""
+        return self._weighted("longest_tail_lengths", self._compute_tail_map)
+
+    def _compute_tail_map(self) -> dict[NodeId, float]:
+        kernel = self._kernel()
+        tail: dict[NodeId, float] = {}
+        for i in reversed(kernel.topo):
+            node = kernel.nodes[i]
+            longest_succ = max(
+                (tail[kernel.nodes[s]] for s in kernel.successors_of(i)),
+                default=0,
+            )
+            tail[node] = longest_succ + self._wcet[node]
+        return tail
 
     def longest_tail_lengths(self) -> dict[NodeId, float]:
         """Length of the longest path *starting* at each node (inclusive).
@@ -451,11 +746,7 @@ class DirectedAcyclicGraph:
         This is the classical "bottom level" used by critical-path-first list
         scheduling heuristics.
         """
-        tail: dict[NodeId, float] = {}
-        for node in reversed(self.topological_order()):
-            longest_succ = max((tail[s] for s in self._succ[node]), default=0)
-            tail[node] = longest_succ + self._wcet[node]
-        return tail
+        return dict(self._tail_map())
 
     def longest_path_through(self, node_id: NodeId) -> float:
         """Length of the longest path constrained to pass through ``node_id``.
@@ -466,8 +757,8 @@ class DirectedAcyclicGraph:
         critical path of the transformed DAG.
         """
         self._require(node_id)
-        finish = self.earliest_finish_times()
-        tail = self.longest_tail_lengths()
+        finish = self._finish_map()
+        tail = self._tail_map()
         return finish[node_id] + tail[node_id] - self._wcet[node_id]
 
     def lies_on_critical_path(self, node_id: NodeId, relative_tolerance: float = 1e-9) -> bool:
@@ -495,16 +786,34 @@ class DirectedAcyclicGraph:
         validators detect violations and :meth:`transitive_reduction` remove
         them.
         """
+        kernel = self._acyclic_kernel()
+        if kernel is None:
+            return self._transitive_edges_bfs()
+        masks = kernel.descendant_masks()
+        redundant: list[tuple[NodeId, NodeId]] = []
+        for i in range(len(kernel.nodes)):
+            direct = kernel.successors_of(i)
+            if len(direct) < 2:
+                continue
+            # A direct edge (src, dst) is transitive iff dst is reachable
+            # from one of src's *other* direct successors.
+            reachable_via_others = 0
+            for mid in direct:
+                reachable_via_others |= masks[mid]
+            for dst in direct:
+                if reachable_via_others >> dst & 1:
+                    redundant.append((kernel.nodes[i], kernel.nodes[dst]))
+        return redundant
+
+    def _transitive_edges_bfs(self) -> list[tuple[NodeId, NodeId]]:
         redundant: list[tuple[NodeId, NodeId]] = []
         for src in self._wcet:
             direct = self._succ[src]
             if len(direct) < 2:
                 continue
-            # A direct edge (src, dst) is transitive iff dst is reachable from
-            # one of src's *other* direct successors.
             reachable_via_others: set[NodeId] = set()
             for mid in direct:
-                reachable_via_others |= self.descendants(mid)
+                reachable_via_others |= self._reach(mid, self._succ)
             for dst in direct:
                 if dst in reachable_via_others:
                     redundant.append((src, dst))
@@ -519,8 +828,28 @@ class DirectedAcyclicGraph:
         return reduced
 
     def transitive_closure(self) -> dict[NodeId, set[NodeId]]:
-        """Return the full reachability relation ``node -> descendants``."""
-        return {node: self.descendants(node) for node in self._wcet}
+        """Return the full reachability relation ``node -> descendants``.
+
+        Derived from the cached bitmask tables in a single pass; the returned
+        sets are fresh copies, safe to mutate.
+        """
+        closure = self._structural("transitive_closure", self._compute_closure)
+        return {node: set(descendants) for node, descendants in closure.items()}
+
+    def _compute_closure(self) -> dict[NodeId, frozenset[NodeId]]:
+        kernel = self._acyclic_kernel()
+        if kernel is None:
+            return {
+                node: frozenset(self._reach(node, self._succ))
+                for node in self._wcet
+            }
+        masks = kernel.descendant_masks()
+        return {
+            node: frozenset(
+                kernel.nodes[i] for i in _DenseKernel.bits(masks[kernel.index[node]])
+            )
+            for node in self._wcet
+        }
 
     # ------------------------------------------------------------------
     # Subgraphs and structural edits used by Algorithm 1

@@ -66,6 +66,12 @@ class TransformedTask:
     rerouted_edges:
         Every original edge ``(v_i, v_j)`` that was replaced by
         ``(v_sync, v_j)``; useful for debugging and for the DOT exporter.
+    metrics_cache:
+        Scratch memoisation space for the analyses (e.g. ``R_hom(G_par)``
+        per core count, which :func:`repro.analysis.heterogeneous.classify_scenario`
+        and :func:`~repro.analysis.heterogeneous.response_time` would
+        otherwise both re-derive).  A transformed task is never mutated after
+        construction, so entries stay valid for the object's lifetime.
     """
 
     original: DagTask
@@ -76,6 +82,7 @@ class TransformedTask:
     predecessors: set[NodeId] = field(default_factory=set)
     successors: set[NodeId] = field(default_factory=set)
     rerouted_edges: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+    metrics_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Convenience accessors used by the response-time analysis
@@ -123,7 +130,11 @@ class TransformedTask:
         This is the condition distinguishing Scenario 1 from Scenarios 2.x in
         Theorem 1 of the paper.
         """
-        return self.graph.lies_on_critical_path(self.offloaded_node)
+        cached = self.metrics_cache.get("offloaded_on_critical_path")
+        if cached is None:
+            cached = self.graph.lies_on_critical_path(self.offloaded_node)
+            self.metrics_cache["offloaded_on_critical_path"] = cached
+        return cached
 
     def critical_path_elongation(self) -> float:
         """``len(G') - len(G)``: how much the sync point stretched the task."""
@@ -220,7 +231,12 @@ def transform(
                 reroute(v_i, v_j)
 
     if reduce_transitive:
-        transformed = transformed.transitive_reduction()
+        # Remove the redundant edges in place rather than via
+        # ``transitive_reduction()``, which would build a second full copy of
+        # the graph for every transformation of an experiment sweep.
+        # ``transitive_edges()`` lists each redundant edge exactly once.
+        for src, dst in transformed.transitive_edges():
+            transformed.remove_edge(src, dst)
 
     # Lines 14-17: build G_par from the *original* node and edge sets.
     parallel_nodes = set(graph.nodes()) - predecessors - successors - {v_off}

@@ -110,6 +110,15 @@ class ExperimentResult:
         """Labels of all curves, in insertion order."""
         return [series.label for series in self.series]
 
+    def identical_to(self, other: "ExperimentResult") -> bool:
+        """Exact equality of every label, sample and metadata entry.
+
+        Stricter in intent than ``==`` on floats being "close": the parallel
+        experiment runner is required to reproduce the serial results
+        *bit-identically*, and the test-suite asserts it with this helper.
+        """
+        return self.to_dict() == other.to_dict()
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------

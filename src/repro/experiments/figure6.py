@@ -25,10 +25,12 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.comparison import percentage_change
+from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import GeneratorConfig, OffloadConfig
 from ..generator.presets import LARGE_TASKS_FIG6
 from ..generator.sweep import offload_fraction_sweep
+from ..parallel import parallel_map, spawn_seeds
 from ..simulation.engine import simulate_makespan
 from ..simulation.platform import Platform
 from ..simulation.schedulers import BreadthFirstPolicy, SchedulingPolicy
@@ -38,10 +40,39 @@ from .config import ExperimentScale, quick_scale
 __all__ = ["run_figure6"]
 
 
+def _evaluate_point(
+    args: tuple[list[DagTask], tuple[int, ...], SchedulingPolicy]
+) -> list[tuple[float, float]]:
+    """Worker: simulate one sweep point for every host size.
+
+    The tasks are transformed once (Algorithm 1 does not depend on ``m``)
+    and both variants are simulated on every requested host size.  Returns
+    one ``(average original, average transformed)`` makespan pair per core
+    count.
+    """
+    tasks, core_counts, policy = args
+    transformed_tasks = [transform(task).task for task in tasks]
+    rows: list[tuple[float, float]] = []
+    for cores in core_counts:
+        platform = Platform(host_cores=cores, accelerators=1)
+        original_makespans = []
+        transformed_makespans = []
+        for task, transformed in zip(tasks, transformed_tasks):
+            original_makespans.append(simulate_makespan(task, platform, policy))
+            transformed_makespans.append(
+                simulate_makespan(transformed, platform, policy)
+            )
+        rows.append(
+            (float(np.mean(original_makespans)), float(np.mean(transformed_makespans)))
+        )
+    return rows
+
+
 def run_figure6(
     scale: Optional[ExperimentScale] = None,
     generator_config: GeneratorConfig = LARGE_TASKS_FIG6,
     policy: Optional[SchedulingPolicy] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 6 of the paper.
 
@@ -56,6 +87,13 @@ def run_figure6(
         Scheduling policy used for both tasks; defaults to the GOMP-style
         breadth-first policy.  The scheduler ablation benchmark passes other
         policies here.
+    jobs:
+        Number of worker processes for the simulation sweep; ``None``/``1``
+        runs serially.  Task generation always happens serially up front and
+        each sweep point receives its own policy via
+        :meth:`~repro.simulation.schedulers.SchedulingPolicy.spawned`
+        (deterministic policies: a plain copy; ``RandomPolicy``: reseeded
+        per point), so the results are bit-identical to the serial path.
 
     Returns
     -------
@@ -90,22 +128,20 @@ def run_figure6(
         },
     )
 
-    for cores in scale.core_counts:
-        platform = Platform(host_cores=cores, accelerators=1)
+    core_counts = tuple(scale.core_counts)
+    # Each sweep point gets its own policy instance (deterministic policies:
+    # a plain copy; RandomPolicy: reseeded from a spawned child seed so the
+    # points draw independent streams in any execution order).
+    work = [
+        (point.tasks, core_counts, policy.spawned(seed))
+        for point, seed in zip(points, spawn_seeds(scale.seed, len(points)))
+    ]
+    rows_per_point = parallel_map(_evaluate_point, work, jobs=jobs)
+
+    for core_index, cores in enumerate(core_counts):
         series = ExperimentSeries(label=f"m={cores}")
-        for point in points:
-            original_makespans = []
-            transformed_makespans = []
-            for task in point.tasks:
-                transformed = transform(task)
-                original_makespans.append(
-                    simulate_makespan(task, platform, policy)
-                )
-                transformed_makespans.append(
-                    simulate_makespan(transformed.task, platform, policy)
-                )
-            average_original = float(np.mean(original_makespans))
-            average_transformed = float(np.mean(transformed_makespans))
+        for point, rows in zip(points, rows_per_point):
+            average_original, average_transformed = rows[core_index]
             series.append(
                 point.fraction,
                 percentage_change(average_original, average_transformed),

@@ -30,15 +30,46 @@ import numpy as np
 from ..analysis.comparison import percentage_increment
 from ..analysis.heterogeneous import response_time as heterogeneous_response_time
 from ..analysis.homogeneous import response_time as homogeneous_response_time
+from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import OffloadConfig
 from ..generator.presets import SMALL_TASKS
 from ..generator.sweep import offload_fraction_sweep
 from ..ilp.makespan import MakespanMethod, minimum_makespan
+from ..parallel import parallel_map
 from .base import ExperimentResult, ExperimentSeries
 from .config import ExperimentScale, quick_scale
 
 __all__ = ["run_figure7", "node_range_for_cores"]
+
+
+def _evaluate_point(
+    args: tuple[list[DagTask], int, Optional[float]]
+) -> tuple[float, float]:
+    """Worker: ILP optimum + both bounds over one sweep point.
+
+    The ILP solve dominates the cost of Figure 7, which is why the work is
+    chunked per sweep point.  Returns the mean percentage increments of
+    ``R_hom`` and ``R_het`` over the optimum.
+    """
+    tasks, cores, time_limit = args
+    hom_increments = []
+    het_increments = []
+    for task in tasks:
+        # The ILP requires integer WCETs; round the pinned C_off.
+        task = task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet)))
+        optimum = minimum_makespan(
+            task,
+            cores,
+            method=MakespanMethod.ILP,
+            time_limit=time_limit,
+        ).makespan
+        transformed = transform(task)
+        hom = homogeneous_response_time(task, cores).bound
+        het = heterogeneous_response_time(transformed, cores).bound
+        hom_increments.append(percentage_increment(hom, optimum))
+        het_increments.append(percentage_increment(het, optimum))
+    return float(np.mean(hom_increments)), float(np.mean(het_increments))
 
 
 def node_range_for_cores(scale: ExperimentScale, cores: int) -> tuple[int, int]:
@@ -58,8 +89,15 @@ def node_range_for_cores(scale: ExperimentScale, cores: int) -> tuple[int, int]:
 
 def run_figure7(
     scale: Optional[ExperimentScale] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 7 of the paper.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count for the ILP sweep (task generation stays
+        serial, so results are bit-identical to the serial path).
 
     Returns
     -------
@@ -111,25 +149,14 @@ def run_figure7(
         het_series = ExperimentSeries(
             label=f"R_het m={cores}", metadata={"nodes": list(node_range)}
         )
-        for point in points:
-            hom_increments = []
-            het_increments = []
-            for task in point.tasks:
-                # The ILP requires integer WCETs; round the pinned C_off.
-                task = task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet)))
-                optimum = minimum_makespan(
-                    task,
-                    cores,
-                    method=MakespanMethod.ILP,
-                    time_limit=scale.ilp_time_limit,
-                ).makespan
-                transformed = transform(task)
-                hom = homogeneous_response_time(task, cores).bound
-                het = heterogeneous_response_time(transformed, cores).bound
-                hom_increments.append(percentage_increment(hom, optimum))
-                het_increments.append(percentage_increment(het, optimum))
-            hom_series.append(point.fraction, float(np.mean(hom_increments)))
-            het_series.append(point.fraction, float(np.mean(het_increments)))
+        increments = parallel_map(
+            _evaluate_point,
+            [(point.tasks, cores, scale.ilp_time_limit) for point in points],
+            jobs=jobs,
+        )
+        for point, (hom_increment, het_increment) in zip(points, increments):
+            hom_series.append(point.fraction, hom_increment)
+            het_series.append(point.fraction, het_increment)
         result.add_series(hom_series)
         result.add_series(het_series)
     return result

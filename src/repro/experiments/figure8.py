@@ -24,10 +24,12 @@ import numpy as np
 
 from ..analysis.heterogeneous import classify_scenario
 from ..analysis.results import Scenario
+from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import GeneratorConfig, OffloadConfig
 from ..generator.presets import LARGE_TASKS_FIG6
 from ..generator.sweep import offload_fraction_sweep
+from ..parallel import parallel_map
 from .base import ExperimentResult, ExperimentSeries
 from .config import ExperimentScale, quick_scale
 
@@ -40,11 +42,38 @@ _SCENARIO_LABELS = {
 }
 
 
+def _classify_point(
+    args: tuple[list[DagTask], tuple[int, ...]]
+) -> dict[int, dict[Scenario, int]]:
+    """Worker: classify one sweep point's tasks for every host size.
+
+    Each task is transformed once (Algorithm 1 does not depend on ``m``);
+    the per-core classifications then reuse the memoised ``R_hom(G_par)``.
+    """
+    tasks, core_counts = args
+    transformed_tasks = [transform(task) for task in tasks]
+    counts_by_cores: dict[int, dict[Scenario, int]] = {}
+    for cores in core_counts:
+        counts = {scenario: 0 for scenario in _SCENARIO_LABELS}
+        for transformed in transformed_tasks:
+            counts[classify_scenario(transformed, cores)] += 1
+        counts_by_cores[cores] = counts
+    return counts_by_cores
+
+
 def run_figure8(
     scale: Optional[ExperimentScale] = None,
     generator_config: GeneratorConfig = LARGE_TASKS_FIG6,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 8 of the paper.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count for the classification sweep; results are
+        bit-identical to the serial path (the classification is
+        deterministic and generation happens up front).
 
     Returns
     -------
@@ -75,24 +104,21 @@ def run_figure8(
         },
     )
 
-    # Pre-transform every task once; the transformation does not depend on m.
-    transformed_points = [
-        (point.fraction, [transform(task) for task in point.tasks])
-        for point in points
-    ]
+    core_counts = tuple(scale.core_counts)
+    counts_per_point = parallel_map(
+        _classify_point, [(point.tasks, core_counts) for point in points], jobs=jobs
+    )
 
-    for cores in scale.core_counts:
+    for cores in core_counts:
         series_by_scenario = {
             scenario: ExperimentSeries(label=f"{label} m={cores}")
             for scenario, label in _SCENARIO_LABELS.items()
         }
-        for fraction, transformed_tasks in transformed_points:
-            counts = {scenario: 0 for scenario in _SCENARIO_LABELS}
-            for transformed in transformed_tasks:
-                counts[classify_scenario(transformed, cores)] += 1
-            total = max(1, len(transformed_tasks))
+        for point, counts_by_cores in zip(points, counts_per_point):
+            counts = counts_by_cores[cores]
+            total = max(1, len(point.tasks))
             for scenario, series in series_by_scenario.items():
-                series.append(fraction, 100.0 * counts[scenario] / total)
+                series.append(point.fraction, 100.0 * counts[scenario] / total)
         for series in series_by_scenario.values():
             result.add_series(series)
     return result

@@ -5,6 +5,17 @@
 :class:`~repro.experiments.base.ExperimentResult`; :func:`run_all` runs every
 experiment of the paper.  The CLI (:mod:`repro.cli`) and the benchmark
 harness are thin wrappers around these functions.
+
+Parallel execution
+------------------
+The figure drivers accept a ``jobs`` argument (surfaced here and as the
+CLI's ``--jobs`` flag) that distributes their sweep evaluation over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Random task generation
+always happens serially up front from the scale's root seed, and only the
+deterministic evaluation is chunked (one chunk per sweep point), so
+``jobs=N`` produces bit-identical results to the serial path -- the
+test-suite asserts this with
+:meth:`~repro.experiments.base.ExperimentResult.identical_to`.
 """
 
 from __future__ import annotations
@@ -33,6 +44,11 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-ilp": run_ilp_ablation,
 }
 
+#: Experiments whose drivers support process-parallel sweeps.  The worked
+#: example is a single closed-form evaluation and the ablations are
+#: dominated by tiny instances; parallelising them would buy nothing.
+_SUPPORTS_JOBS = frozenset({"figure6", "figure7", "figure8", "figure9"})
+
 
 def available_experiments() -> list[str]:
     """Names accepted by :func:`run_experiment`, in canonical order."""
@@ -40,7 +56,9 @@ def available_experiments() -> list[str]:
 
 
 def run_experiment(
-    name: str, scale: Optional[ExperimentScale] = None
+    name: str,
+    scale: Optional[ExperimentScale] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one experiment by name.
 
@@ -50,19 +68,39 @@ def run_experiment(
         One of :func:`available_experiments`.
     scale:
         Sampling effort; ``None`` uses the quick (seconds-scale) preset.
+    jobs:
+        Worker-process count for the figure sweeps (``None``/``1`` = serial;
+        negative = all CPUs).  Ignored by experiments that do not support
+        parallel execution; results never depend on it.
     """
     try:
         driver = EXPERIMENTS[name]
     except KeyError:
         valid = ", ".join(available_experiments())
         raise KeyError(f"unknown experiment {name!r}; valid names: {valid}") from None
-    return driver(scale=scale) if name != "worked-example" else driver()
+    if name == "worked-example":
+        return driver()
+    if name in _SUPPORTS_JOBS:
+        return driver(scale=scale, jobs=jobs)
+    return driver(scale=scale)
 
 
 def run_all(
     scale: Optional[ExperimentScale] = None,
     names: Optional[list[str]] = None,
+    jobs: Optional[int] = None,
 ) -> dict[str, ExperimentResult]:
-    """Run every requested experiment and return the results by name."""
+    """Run every requested experiment and return the results by name.
+
+    Parameters
+    ----------
+    scale:
+        Sampling effort shared by all experiments.
+    names:
+        Subset of :func:`available_experiments`; ``None`` runs everything.
+    jobs:
+        Worker-process count forwarded to each driver that supports it; the
+        results are bit-identical to ``jobs=None``.
+    """
     selected = names if names is not None else available_experiments()
-    return {name: run_experiment(name, scale) for name in selected}
+    return {name: run_experiment(name, scale, jobs=jobs) for name in selected}

@@ -18,6 +18,7 @@ ablation study (``benchmarks/bench_ablation_scheduler.py``).
 from __future__ import annotations
 
 import abc
+import copy
 from typing import Optional
 
 import numpy as np
@@ -67,6 +68,17 @@ class SchedulingPolicy(abc.ABC):
             Monotonically increasing counter of ready-queue insertions; using
             it as a final tie-breaker makes every policy deterministic.
         """
+
+    def spawned(self, seed: int) -> "SchedulingPolicy":
+        """An independent instance of this policy for one parallel work chunk.
+
+        Deterministic policies return a plain deep copy, which is
+        indistinguishable from sharing the instance.  Stochastic policies
+        must override this and reseed from ``seed`` (derived via
+        :func:`repro.parallel.spawn_seeds`) so that chunks draw independent
+        random streams regardless of execution order.
+        """
+        return copy.deepcopy(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -156,6 +168,10 @@ class RandomPolicy(SchedulingPolicy):
 
     def __init__(self, rng: np.random.Generator | int | None = None) -> None:
         self._rng = np.random.default_rng(rng)
+
+    def spawned(self, seed: int) -> "RandomPolicy":
+        """Reseeded copy: parallel chunks must not replay the same stream."""
+        return RandomPolicy(seed)
 
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (float(self._rng.random()), arrival_index)

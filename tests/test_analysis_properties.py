@@ -31,7 +31,7 @@ from repro.simulation.schedulers import (
     RandomPolicy,
 )
 
-from .strategies import make_random_heterogeneous_task
+from strategies import make_random_heterogeneous_task
 
 _SEEDS = st.integers(min_value=0, max_value=4_000)
 _FRACTIONS = st.floats(min_value=0.01, max_value=0.65, allow_nan=False)

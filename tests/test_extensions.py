@@ -22,7 +22,7 @@ from repro.extensions.multi_offload import (
 from repro.extensions.multi_offload import response_time as multi_offload_response_time
 from repro.simulation.schedulers import BreadthFirstPolicy, RandomPolicy
 
-from .strategies import make_random_heterogeneous_task
+from strategies import make_random_heterogeneous_task
 
 
 def two_offload_task() -> MultiOffloadTask:

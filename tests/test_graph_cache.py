@@ -1,0 +1,210 @@
+"""Cache-invalidation tests of the dense-index graph kernel.
+
+The graph memoises its derived metrics behind generation counters (see
+``docs/performance.md``).  These tests deliberately *warm* every cache, then
+mutate the graph in each possible way, and assert that all recomputed values
+match a freshly rebuilt graph -- i.e. the caches can never leak stale data.
+A Hypothesis property interleaves random mutations and queries to hunt for
+invalidation orderings the unit tests missed.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import DirectedAcyclicGraph
+
+
+def _rebuild(graph: DirectedAcyclicGraph) -> DirectedAcyclicGraph:
+    """A cache-free reconstruction with the same node insertion order."""
+    return DirectedAcyclicGraph.from_dict(
+        {node: graph.wcet(node) for node in graph.nodes()}, graph.edges()
+    )
+
+
+def _snapshot(graph: DirectedAcyclicGraph) -> dict:
+    """Every cached metric of the graph, via the public API."""
+    nodes = graph.nodes()
+    pair_sample = nodes[:8]
+    return {
+        "topo": graph.topological_order(),
+        "volume": graph.volume(),
+        "length": graph.critical_path_length(),
+        "path": graph.critical_path(),
+        "finish": graph.earliest_finish_times(),
+        "tails": graph.longest_tail_lengths(),
+        "closure": graph.transitive_closure(),
+        "descendants": {node: graph.descendants(node) for node in nodes},
+        "ancestors": {node: graph.ancestors(node) for node in nodes},
+        "parallel": {
+            (a, b): graph.are_parallel(a, b)
+            for a in pair_sample
+            for b in pair_sample
+        },
+        "transitive": graph.transitive_edges(),
+    }
+
+
+def _warm(graph: DirectedAcyclicGraph) -> dict:
+    """Read every cached metric (filling the caches) and return the values."""
+    return _snapshot(graph)
+
+
+def _assert_matches_fresh(graph: DirectedAcyclicGraph) -> None:
+    assert _snapshot(graph) == _snapshot(_rebuild(graph))
+
+
+@pytest.fixture
+def warm_diamond() -> DirectedAcyclicGraph:
+    """A diamond DAG with every cache already populated."""
+    graph = DirectedAcyclicGraph.from_dict(
+        {"a": 1, "b": 2, "c": 5, "d": 3},
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+    _warm(graph)
+    return graph
+
+
+class TestInvalidationAfterEveryMutation:
+    def test_add_node_invalidates(self, warm_diamond):
+        warm_diamond.add_node("e", 7)
+        warm_diamond.add_edge("d", "e")
+        _assert_matches_fresh(warm_diamond)
+
+    def test_remove_node_invalidates(self, warm_diamond):
+        warm_diamond.remove_node("c")
+        _assert_matches_fresh(warm_diamond)
+
+    def test_add_edge_invalidates(self, warm_diamond):
+        warm_diamond.add_edge("b", "c")
+        _assert_matches_fresh(warm_diamond)
+
+    def test_remove_edge_invalidates(self, warm_diamond):
+        warm_diamond.remove_edge("a", "c")
+        _assert_matches_fresh(warm_diamond)
+
+    def test_set_wcet_invalidates_weighted_metrics(self, warm_diamond):
+        before = _snapshot(warm_diamond)
+        warm_diamond.set_wcet("b", 50)
+        after = _snapshot(warm_diamond)
+        assert after["volume"] == before["volume"] + 48
+        assert after["length"] == 1 + 50 + 3
+        assert after["path"] == ["a", "b", "d"]
+        _assert_matches_fresh(warm_diamond)
+
+    def test_set_wcet_preserves_structural_caches(self, warm_diamond):
+        structure_before = warm_diamond.cache_generation[0]
+        warm_diamond.set_wcet("b", 50)
+        warm_diamond.descendants("a")
+        assert warm_diamond.cache_generation[0] == structure_before
+
+    def test_mutation_after_reading_every_metric_chain(self, warm_diamond):
+        # The full chain of the issue: read everything, mutate each way in
+        # turn, re-reading (and re-warming) between mutations.
+        warm_diamond.set_wcet("c", 9)
+        _assert_matches_fresh(warm_diamond)
+        warm_diamond.add_node("e", 4)
+        _assert_matches_fresh(warm_diamond)
+        warm_diamond.add_edge("d", "e")
+        _assert_matches_fresh(warm_diamond)
+        warm_diamond.remove_edge("a", "b")
+        _assert_matches_fresh(warm_diamond)
+        warm_diamond.remove_node("b")
+        _assert_matches_fresh(warm_diamond)
+
+
+class TestCacheHygiene:
+    def test_returned_containers_are_copies(self, warm_diamond):
+        warm_diamond.topological_order().append("junk")
+        warm_diamond.earliest_finish_times()["junk"] = -1
+        warm_diamond.longest_tail_lengths()["junk"] = -1
+        warm_diamond.critical_path().append("junk")
+        warm_diamond.transitive_closure()["a"].add("junk")
+        warm_diamond.descendants("a").add("junk")
+        _assert_matches_fresh(warm_diamond)
+
+    def test_copy_shares_results_but_diverges_after_mutation(self, warm_diamond):
+        original = _snapshot(warm_diamond)
+        clone = warm_diamond.copy()
+        assert _snapshot(clone) == original
+        clone.set_wcet("c", 99)
+        clone.add_edge("b", "c")
+        _assert_matches_fresh(clone)
+        # The original is untouched by the clone's mutations.
+        assert _snapshot(warm_diamond) == original
+
+    def test_pickle_round_trip_drops_caches_but_not_results(self, warm_diamond):
+        restored = pickle.loads(pickle.dumps(warm_diamond))
+        assert restored == warm_diamond
+        assert _snapshot(restored) == _snapshot(warm_diamond)
+        restored.add_edge("b", "c")
+        _assert_matches_fresh(restored)
+
+    def test_invalidate_caches_changes_nothing(self, warm_diamond):
+        before = _snapshot(warm_diamond)
+        warm_diamond.invalidate_caches()
+        assert _snapshot(warm_diamond) == before
+
+    def test_cycle_then_repair_is_served_correctly(self):
+        graph = DirectedAcyclicGraph.from_dict(
+            {"a": 1, "b": 2, "c": 3}, [("a", "b"), ("b", "c")]
+        )
+        _warm(graph)
+        graph.add_edge("c", "a")  # now cyclic
+        assert not graph.is_acyclic()
+        # BFS fallback on a cyclic graph: "a" reaches itself around the cycle.
+        assert graph.descendants("a") == {"a", "b", "c"}
+        graph.remove_edge("c", "a")  # acyclic again
+        _assert_matches_fresh(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_interleaved_mutations_and_queries_match_a_fresh_graph(data):
+    """Random mutation/query interleavings never observe stale caches.
+
+    Edges are only ever added from an earlier-inserted node to a later one,
+    which keeps the graph acyclic by construction.
+    """
+    graph = DirectedAcyclicGraph()
+    created = 0
+    steps = data.draw(st.integers(min_value=1, max_value=25), label="steps")
+    for _ in range(steps):
+        nodes = graph.nodes()
+        operation = data.draw(
+            st.sampled_from(
+                ["add_node", "add_edge", "remove_edge", "remove_node", "set_wcet", "check"]
+            ),
+            label="operation",
+        )
+        if operation == "add_node" or not nodes:
+            graph.add_node(f"n{created}", data.draw(st.integers(0, 9), label="wcet"))
+            created += 1
+        elif operation == "add_edge" and len(nodes) >= 2:
+            i = data.draw(st.integers(0, len(nodes) - 2), label="src")
+            j = data.draw(st.integers(i + 1, len(nodes) - 1), label="dst")
+            if not graph.has_edge(nodes[i], nodes[j]):
+                graph.add_edge(nodes[i], nodes[j])
+        elif operation == "remove_edge" and graph.edge_count:
+            edges = graph.edges()
+            index = data.draw(st.integers(0, len(edges) - 1), label="edge")
+            graph.remove_edge(*edges[index])
+        elif operation == "remove_node":
+            index = data.draw(st.integers(0, len(nodes) - 1), label="node")
+            graph.remove_node(nodes[index])
+        elif operation == "set_wcet":
+            index = data.draw(st.integers(0, len(nodes) - 1), label="node")
+            graph.set_wcet(nodes[index], data.draw(st.integers(0, 9), label="wcet"))
+        else:
+            _assert_matches_fresh(graph)
+        # Keep the caches warm between mutations so every mutation really
+        # does hit a populated cache.
+        graph.volume()
+        graph.critical_path_length()
+        if graph.nodes():
+            graph.descendants(graph.nodes()[0])
+    _assert_matches_fresh(graph)

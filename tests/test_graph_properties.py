@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.graph import DirectedAcyclicGraph
 
-from .strategies import make_random_host_task
+from strategies import make_random_host_task
 
 
 def _to_networkx(graph: DirectedAcyclicGraph) -> nx.DiGraph:

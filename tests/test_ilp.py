@@ -18,7 +18,7 @@ from repro.ilp.makespan import MakespanMethod, MakespanResult, minimum_makespan,
 from repro.ilp.solver import solve_formulation, solve_minimum_makespan
 from repro.simulation.engine import simulate_makespan
 
-from .strategies import (
+from strategies import (
     make_random_heterogeneous_task,
     make_random_integer_heterogeneous_task,
 )

@@ -16,7 +16,7 @@ from repro.simulation.schedulers import (
     RandomPolicy,
 )
 
-from .strategies import make_random_heterogeneous_task, make_random_host_task
+from strategies import make_random_heterogeneous_task, make_random_host_task
 
 _SEEDS = st.integers(min_value=0, max_value=4_000)
 _FRACTIONS = st.floats(min_value=0.01, max_value=0.6, allow_nan=False)

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core.transformation import transform
 from repro.core.validation import validate_task
 
-from .strategies import make_random_heterogeneous_task
+from strategies import make_random_heterogeneous_task
 
 _SEEDS = st.integers(min_value=0, max_value=5_000)
 _FRACTIONS = st.floats(min_value=0.01, max_value=0.6, allow_nan=False)
