@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Benchmark of the PR-2 exact-makespan subsystem on the Figure 7 workload.
+
+Measures, on the quick-scale Figure 7 task ensembles (the paired
+``C_off``-fraction sweep over small random DAGs):
+
+* **branch-and-bound pruning** -- explored search states and wall time of
+  the dominance-pruned sequence search vs the retained unpruned reference
+  engine (``pruning=False``), with a makespan-identity check against both
+  the reference and the HiGHS ILP (``m = 2`` sweep, the node sizes the
+  reference engine can still enumerate);
+* **ILP warm start** -- model size (binary start variables) and solve wall
+  time of the warm-started model (incumbent horizon + tightened windows)
+  vs the pre-PR-2 cold model, again with a makespan-identity check
+  (``m = 2`` and ``m = 8`` sweeps);
+* **batched oracle layer** -- instance deduplication and memo reuse of
+  :func:`repro.ilp.batch.minimum_makespans_many` over the full sweep.
+
+Aggregated results are written to ``BENCH_PR2.json`` at the repository
+root, extending the performance trajectory started by ``BENCH_PR1.json``.
+
+Run with:  python benchmarks/bench_ilp.py  [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import quick_scale  # noqa: E402
+from repro.experiments.figure7 import node_range_for_cores  # noqa: E402
+from repro.generator.config import OffloadConfig  # noqa: E402
+from repro.generator.presets import SMALL_TASKS  # noqa: E402
+from repro.generator.sweep import offload_fraction_sweep  # noqa: E402
+from repro.ilp.batch import (  # noqa: E402
+    minimum_makespans_many,
+    oracle_cache_clear,
+    oracle_cache_size,
+)
+from repro.ilp.branch_and_bound import branch_and_bound_makespan  # noqa: E402
+from repro.ilp.solver import solve_minimum_makespan  # noqa: E402
+
+OUTPUT = _REPO_ROOT / "BENCH_PR2.json"
+
+#: Acceptance threshold: the pruned search must explore at least this many
+#: times fewer states than the unpruned reference on the Figure 7 workload.
+NODE_REDUCTION_TARGET = 5.0
+
+
+def figure7_tasks(cores: int, dags_per_point: int) -> list:
+    """The (rounded) task ensemble Figure 7 evaluates for host size ``m``."""
+    scale = quick_scale()
+    rng = np.random.default_rng(scale.seed + 7)
+    node_range = node_range_for_cores(scale, cores)
+    generator_config = replace(
+        SMALL_TASKS,
+        n_min=node_range[0],
+        n_max=node_range[1],
+        c_max=scale.ilp_wcet_max,
+    )
+    points = offload_fraction_sweep(
+        fractions=scale.small_task_fractions,
+        dags_per_point=dags_per_point,
+        generator_config=generator_config,
+        offload_config=OffloadConfig(),
+        rng=rng,
+        paired=True,
+    )
+    return [
+        task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet)))
+        for point in points
+        for task in point.tasks
+    ]
+
+
+def bench_branch_and_bound(tasks: list, cores: int) -> dict:
+    """Pruned vs reference search states and wall time; identity checks."""
+    t0 = time.perf_counter()
+    pruned = [branch_and_bound_makespan(task, cores) for task in tasks]
+    pruned_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference = [
+        branch_and_bound_makespan(task, cores, pruning=False) for task in tasks
+    ]
+    reference_s = time.perf_counter() - t0
+
+    ilp = [solve_minimum_makespan(task, cores) for task in tasks]
+    makespans_identical = all(
+        p.makespan == r.makespan for p, r in zip(pruned, reference)
+    )
+    ilp_agreement = all(
+        abs(p.makespan - s.makespan) < 1e-6 for p, s in zip(pruned, ilp)
+    )
+    pruned_states = sum(result.explored_states for result in pruned)
+    reference_states = sum(result.explored_states for result in reference)
+    # Instances resolved by the list-schedule==lower-bound early exit never
+    # search at all; report them separately so the state reduction can be
+    # attributed to the dominance/bound pruning and not only to the exit.
+    searched = [
+        (p.explored_states, r.explored_states)
+        for p, r in zip(pruned, reference)
+        if p.explored_states > 0
+    ]
+    return {
+        "tasks": len(tasks),
+        "cores": cores,
+        "pruned_states": pruned_states,
+        "reference_states": reference_states,
+        "state_reduction": reference_states / max(pruned_states, 1),
+        "pruned_short_circuited": len(tasks) - len(searched),
+        "searched_state_reduction": (
+            sum(r for _, r in searched) / max(sum(p for p, _ in searched), 1)
+        )
+        if searched
+        else 1.0,
+        "pruned_s": pruned_s,
+        "reference_s": reference_s,
+        "time_speedup": reference_s / max(pruned_s, 1e-9),
+        "all_optimal": all(r.optimal for r in pruned + reference),
+        "makespans_identical_to_reference": makespans_identical,
+        "makespans_identical_to_ilp": ilp_agreement,
+    }
+
+
+def bench_ilp_warm_start(tasks: list, cores: int) -> dict:
+    """Warm vs cold model size and solve time; identity checks."""
+    t0 = time.perf_counter()
+    warm = [solve_minimum_makespan(task, cores, warm_start=True) for task in tasks]
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cold = [solve_minimum_makespan(task, cores, warm_start=False) for task in tasks]
+    cold_s = time.perf_counter() - t0
+
+    return {
+        "tasks": len(tasks),
+        "cores": cores,
+        "warm_variables": sum(s.variable_count for s in warm),
+        "cold_variables": sum(s.variable_count for s in cold),
+        "variable_reduction": sum(s.variable_count for s in cold)
+        / max(sum(s.variable_count for s in warm), 1),
+        "short_circuited": sum(1 for s in warm if s.variable_count == 0),
+        "warm_s": warm_s,
+        "cold_s": cold_s,
+        "time_speedup": cold_s / max(warm_s, 1e-9),
+        "makespans_identical": all(
+            abs(a.makespan - b.makespan) < 1e-6 for a, b in zip(warm, cold)
+        ),
+    }
+
+
+def bench_batched_oracle(tasks: list, cores: int) -> dict:
+    """Deduplication and memo reuse of the batched oracle layer."""
+    oracle_cache_clear()
+    t0 = time.perf_counter()
+    first = minimum_makespans_many(tasks, cores)
+    first_s = time.perf_counter() - t0
+    unique = oracle_cache_size()
+
+    t0 = time.perf_counter()
+    second = minimum_makespans_many(tasks, cores)
+    second_s = time.perf_counter() - t0
+    oracle_cache_clear()
+    return {
+        "tasks": len(tasks),
+        "cores": cores,
+        "unique_instances": unique,
+        "dedup_share": 1.0 - unique / max(len(tasks), 1),
+        "first_pass_s": first_s,
+        "memoised_pass_s": second_s,
+        "memo_speedup": first_s / max(second_s, 1e-9),
+        "stable": all(
+            a.makespan == b.makespan for a, b in zip(first, second)
+        ),
+    }
+
+
+def main() -> dict:
+    smoke = "--smoke" in sys.argv
+    dags_per_point = 3 if smoke else 12
+
+    tasks_m2 = figure7_tasks(2, dags_per_point)
+    tasks_m8 = figure7_tasks(8, dags_per_point)
+
+    document: dict = {
+        "benchmark": "ilp_oracles",
+        "pr": 2,
+        "description": (
+            "Pruned branch-and-bound vs unpruned reference, warm-started vs "
+            "cold HiGHS ILP, and the batched memoised oracle layer, all on "
+            "the quick-scale Figure 7 workload (see docs/performance.md)."
+        ),
+        "smoke": smoke,
+        "dags_per_point": dags_per_point,
+        "branch_and_bound": bench_branch_and_bound(tasks_m2, cores=2),
+        "ilp_warm_start": [
+            bench_ilp_warm_start(tasks_m2, cores=2),
+            bench_ilp_warm_start(tasks_m8, cores=8),
+        ],
+        "batched_oracle": bench_batched_oracle(tasks_m2, cores=2),
+    }
+    bnb = document["branch_and_bound"]
+    document["acceptance"] = {
+        "node_reduction": bnb["state_reduction"],
+        "node_reduction_target": NODE_REDUCTION_TARGET,
+        "node_reduction_met": bnb["state_reduction"] >= NODE_REDUCTION_TARGET,
+        "wall_time_drop": bnb["time_speedup"] > 1.0,
+        "makespans_identical": bnb["makespans_identical_to_reference"]
+        and bnb["makespans_identical_to_ilp"],
+    }
+
+    print(
+        f"B&B (m=2, {bnb['tasks']} tasks): {bnb['reference_states']} -> "
+        f"{bnb['pruned_states']} states (x{bnb['state_reduction']:.1f}; "
+        f"x{bnb['searched_state_reduction']:.1f} on the "
+        f"{bnb['tasks'] - bnb['pruned_short_circuited']} searched instances, "
+        f"{bnb['pruned_short_circuited']} short-circuited), "
+        f"{bnb['reference_s']:.2f}s -> {bnb['pruned_s']:.2f}s "
+        f"(x{bnb['time_speedup']:.1f})"
+    )
+    for entry in document["ilp_warm_start"]:
+        print(
+            f"ILP (m={entry['cores']}, {entry['tasks']} tasks): "
+            f"{entry['cold_variables']} -> {entry['warm_variables']} variables "
+            f"(x{entry['variable_reduction']:.1f}), {entry['cold_s']:.2f}s -> "
+            f"{entry['warm_s']:.2f}s (x{entry['time_speedup']:.1f}), "
+            f"{entry['short_circuited']} short-circuited"
+        )
+    batched = document["batched_oracle"]
+    print(
+        f"batched oracle (m=2): {batched['tasks']} instances, "
+        f"{batched['unique_instances']} unique "
+        f"({100 * batched['dedup_share']:.0f}% deduplicated), memoised pass "
+        f"x{batched['memo_speedup']:.0f}"
+    )
+    if not smoke:
+        OUTPUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"\nresults written to {OUTPUT}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: node reduction x{accepted['node_reduction']:.1f} "
+        f"(target x{accepted['node_reduction_target']:.0f}) -> "
+        f"{'PASS' if accepted['node_reduction_met'] else 'FAIL'}; "
+        f"makespans identical -> "
+        f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    result = main()
+    accepted = result["acceptance"]
+    if not (accepted["node_reduction_met"] and accepted["makespans_identical"]):
+        sys.exit(1)

@@ -25,10 +25,12 @@ import numpy as np
 
 from ..core.transformation import transform
 from ..generator.config import OffloadConfig
-from ..generator.presets import LARGE_TASKS_FIG6, SMALL_TASKS
-from ..generator.sweep import offload_fraction_sweep
-from ..ilp.branch_and_bound import branch_and_bound_makespan
-from ..ilp.solver import solve_minimum_makespan
+from ..generator.presets import SMALL_TASKS
+from ..generator.sweep import chunked_offload_fraction_sweep
+from ..ilp.batch import minimum_makespans_many
+from ..ilp.branch_and_bound import BranchAndBoundResult, branch_and_bound_makespan
+from ..ilp.makespan import MakespanMethod
+from ..parallel import parallel_map
 from ..simulation.schedulers import (
     BreadthFirstPolicy,
     CriticalPathFirstPolicy,
@@ -78,52 +80,97 @@ def run_scheduler_ablation(
     return result
 
 
+def _solve_bnb_pair(
+    args: tuple,
+) -> tuple[BranchAndBoundResult, BranchAndBoundResult]:
+    """Worker: pruned and unpruned-reference branch-and-bound of one task."""
+    task, cores = args
+    return (
+        branch_and_bound_makespan(task, cores),
+        branch_and_bound_makespan(task, cores, pruning=False),
+    )
+
+
 def run_ilp_ablation(
     scale: Optional[ExperimentScale] = None,
     cores: int = 2,
     task_count: int = 10,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Cross-check the two optimal-makespan oracles on small random tasks.
+
+    The task ensemble is generated with the chunked seeded scheme
+    (:func:`repro.generator.sweep.chunked_offload_fraction_sweep`); the ILP
+    side runs through the batched oracle layer with ``warm_start=False`` so
+    HiGHS genuinely solves every instance (the warm start shares its
+    incumbent with the branch-and-bound, which would make the agreement
+    check vacuous); and both branch-and-bound engines (pruned and unpruned
+    reference) are dispatched per task.  All three stages honour ``jobs=N``
+    with bit-identical results.
 
     Returns
     -------
     ExperimentResult
         Series ``ilp`` and ``bnb`` hold the makespans returned by each engine
         for every generated task (x is the task index); the metadata records
-        the number of disagreements (expected: zero) and the average model /
-        search sizes.
+        the number of disagreements (expected: zero), the average model /
+        search sizes, how many pruned searches were resolved by the
+        list-schedule==lower-bound early exit (``bnb_short_circuited``), and
+        the explored-state reduction both overall and restricted to the
+        instances where the pruned engine actually searched
+        (``searched_state_reduction``).
     """
     scale = scale or quick_scale()
-    rng = np.random.default_rng(scale.seed + 42)
     generator_config = replace(
         SMALL_TASKS, n_min=4, n_max=10, c_max=min(scale.ilp_wcet_max, 10)
     )
-    points = offload_fraction_sweep(
+    points = chunked_offload_fraction_sweep(
         fractions=[0.2],
         dags_per_point=task_count,
         generator_config=generator_config,
         offload_config=OffloadConfig(),
-        rng=rng,
-        paired=True,
+        root_seed=scale.seed + 42,
+        jobs=jobs,
     )
     tasks = [
         task.with_offloaded_wcet(max(1.0, round(task.offloaded_wcet)))
         for task in points[0].tasks
     ]
 
+    ilp_results = minimum_makespans_many(
+        tasks,
+        cores,
+        method=MakespanMethod.ILP,
+        time_limit=scale.ilp_time_limit,
+        jobs=jobs,
+        warm_start=False,
+    )
+    bnb_pairs = parallel_map(
+        _solve_bnb_pair, [(task, cores) for task in tasks], jobs=jobs
+    )
+
     ilp_series = ExperimentSeries(label="ilp")
     bnb_series = ExperimentSeries(label="bnb")
     disagreements = 0
+    short_circuited = 0
     variable_counts = []
     explored_states = []
-    for index, task in enumerate(tasks):
-        ilp = solve_minimum_makespan(task, cores, time_limit=scale.ilp_time_limit)
-        bnb = branch_and_bound_makespan(task, cores)
+    reference_states = []
+    searched = []  # (pruned, reference) states of instances with a real search
+    for index, (ilp, (bnb, reference)) in enumerate(zip(ilp_results, bnb_pairs)):
         ilp_series.append(float(index), ilp.makespan)
         bnb_series.append(float(index), bnb.makespan)
-        variable_counts.append(ilp.variable_count)
+        variable_counts.append(ilp.engine_stats.get("variables", 0))
         explored_states.append(bnb.explored_states)
-        if abs(ilp.makespan - bnb.makespan) > 1e-6:
+        reference_states.append(reference.explored_states)
+        if bnb.explored_states == 0:
+            short_circuited += 1
+        else:
+            searched.append((bnb.explored_states, reference.explored_states))
+        if (
+            abs(ilp.makespan - bnb.makespan) > 1e-6
+            or abs(reference.makespan - bnb.makespan) > 1e-6
+        ):
             disagreements += 1
 
     result = ExperimentResult(
@@ -136,6 +183,16 @@ def run_ilp_ablation(
             "disagreements": disagreements,
             "mean_ilp_variables": float(np.mean(variable_counts)),
             "mean_bnb_explored_states": float(np.mean(explored_states)),
+            "mean_reference_explored_states": float(np.mean(reference_states)),
+            "bnb_short_circuited": short_circuited,
+            "pruning_state_reduction": float(
+                np.sum(reference_states) / max(float(np.sum(explored_states)), 1.0)
+            ),
+            "searched_state_reduction": float(
+                sum(r for _, r in searched) / max(sum(p for p, _ in searched), 1)
+            )
+            if searched
+            else 1.0,
         },
     )
     result.add_series(ilp_series)

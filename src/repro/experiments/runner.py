@@ -45,9 +45,11 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 #: Experiments whose drivers support process-parallel sweeps.  The worked
-#: example is a single closed-form evaluation and the ablations are
-#: dominated by tiny instances; parallelising them would buy nothing.
-_SUPPORTS_JOBS = frozenset({"figure6", "figure7", "figure8", "figure9"})
+#: example is a single closed-form evaluation and the scheduler ablation is
+#: dominated by tiny instances; parallelising it would buy nothing.
+_SUPPORTS_JOBS = frozenset(
+    {"figure6", "figure7", "figure8", "figure9", "ablation-ilp"}
+)
 
 
 def available_experiments() -> list[str]:

@@ -32,7 +32,12 @@ from .presets import (
     preset_by_name,
 )
 from .random_dag import DagStructureGenerator, generate_graph, generate_host_task
-from .sweep import SweepPoint, default_fraction_grid, offload_fraction_sweep
+from .sweep import (
+    SweepPoint,
+    chunked_offload_fraction_sweep,
+    default_fraction_grid,
+    offload_fraction_sweep,
+)
 
 __all__ = [
     "GeneratorConfig",
@@ -49,6 +54,7 @@ __all__ = [
     "make_heterogeneous",
     "SweepPoint",
     "offload_fraction_sweep",
+    "chunked_offload_fraction_sweep",
     "default_fraction_grid",
     "CORE_COUNTS",
     "SMALL_TASKS",

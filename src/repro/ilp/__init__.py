@@ -10,10 +10,13 @@ reproduces that oracle with freely available components:
   cross-check the ILP on small instances;
 * :mod:`repro.ilp.bounds` -- cheap lower/upper bounds shared by both;
 * :mod:`repro.ilp.makespan` -- the unified entry point
-  :func:`~repro.ilp.makespan.minimum_makespan`.
+  :func:`~repro.ilp.makespan.minimum_makespan`;
+* :mod:`repro.ilp.batch` -- the batched, memoised ensemble oracle
+  :func:`~repro.ilp.batch.minimum_makespans_many` used by the sweeps.
 """
 
-from .bounds import list_schedule_upper_bound, makespan_lower_bound
+from .batch import minimum_makespans_many, oracle_cache_clear, oracle_cache_size
+from .bounds import best_list_schedule, list_schedule_upper_bound, makespan_lower_bound
 from .branch_and_bound import BranchAndBoundResult, branch_and_bound_makespan
 from .formulation import TimeIndexedFormulation, build_formulation
 from .makespan import MakespanMethod, MakespanResult, minimum_makespan, verify_schedule
@@ -22,6 +25,10 @@ from .solver import IlpSolution, solve_formulation, solve_minimum_makespan
 __all__ = [
     "makespan_lower_bound",
     "list_schedule_upper_bound",
+    "best_list_schedule",
+    "minimum_makespans_many",
+    "oracle_cache_clear",
+    "oracle_cache_size",
     "TimeIndexedFormulation",
     "build_formulation",
     "IlpSolution",

@@ -1,0 +1,157 @@
+"""Batched, memoised exact-makespan oracle over task ensembles.
+
+Figure 7 and the ILP ablation evaluate the exact oracles over *ensembles*:
+hundreds of ``(task, m)`` instances across sweep points, core counts and --
+within one process -- repeated experiment invocations.  Paired ``C_off``
+sweeps re-pin the offloaded WCET on the *same* structures, so distinct
+sweep points regularly collapse onto identical instances (small fractions
+all clamp to the ``minimum_wcet`` floor).  This module is the batched entry
+point that exploits this:
+
+* instances are canonicalised into a structural key (WCETs, edges,
+  offloaded designation, platform, solver settings) and **deduplicated
+  before any work is dispatched** -- each unique instance is solved exactly
+  once per batch;
+* solved instances are kept in a process-wide cache, so later batches
+  (other sweep points, other experiments, repeated runs in one session)
+  reuse them;
+* the unique instances are evaluated through
+  :func:`repro.parallel.parallel_map`, preserving the library-wide
+  determinism contract: the oracles are exact and deterministic, so
+  ``jobs=N`` is bit-identical to the serial path and to any cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.task import DagTask
+from ..parallel import parallel_map
+from .makespan import MakespanMethod, MakespanResult, minimum_makespan
+
+__all__ = ["oracle_cache_clear", "oracle_cache_size", "minimum_makespans_many"]
+
+#: Process-wide ``instance key -> MakespanResult`` memo.  Bounded by
+#: :data:`_CACHE_LIMIT`; cleared wholesale when the bound is hit (the
+#: entries are cheap to recompute relative to bookkeeping an LRU order).
+_ORACLE_CACHE: dict[tuple, MakespanResult] = {}
+_CACHE_LIMIT = 100_000
+
+
+def oracle_cache_clear() -> None:
+    """Drop every memoised oracle result (results are unaffected)."""
+    _ORACLE_CACHE.clear()
+
+
+def oracle_cache_size() -> int:
+    """Number of currently memoised ``(instance, platform)`` results."""
+    return len(_ORACLE_CACHE)
+
+
+def _instance_key(
+    task: DagTask,
+    cores: int,
+    accelerators: int,
+    method: MakespanMethod,
+    time_limit: Optional[float],
+    warm_start: bool,
+) -> tuple:
+    """Canonical structural key of one oracle instance.
+
+    Node identifiers are hashable by contract; ``repr`` keeps the key
+    picklable and insertion order keeps it deterministic for the paired
+    sweeps (re-pinned copies share the construction order).
+    """
+    graph = task.graph
+    return (
+        tuple((repr(node), graph.wcet(node)) for node in graph.nodes()),
+        tuple((repr(src), repr(dst)) for src, dst in graph.edges()),
+        repr(task.offloaded_node),
+        cores,
+        accelerators,
+        method.value,
+        time_limit,
+        warm_start,
+    )
+
+
+def _solve_one(
+    args: tuple[DagTask, int, int, MakespanMethod, Optional[float], bool]
+) -> MakespanResult:
+    """Worker: solve one deduplicated oracle instance."""
+    task, cores, accelerators, method, time_limit, warm_start = args
+    return minimum_makespan(
+        task,
+        cores,
+        accelerators,
+        method=method,
+        time_limit=time_limit,
+        warm_start=warm_start,
+    )
+
+
+def minimum_makespans_many(
+    tasks: Iterable[DagTask],
+    cores: int,
+    accelerators: int = 1,
+    method: MakespanMethod = MakespanMethod.AUTO,
+    time_limit: Optional[float] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    warm_start: bool = True,
+) -> list[MakespanResult]:
+    """Exact minimum makespans of a batch of tasks on ``m`` cores + device.
+
+    Parameters
+    ----------
+    tasks:
+        The tasks to solve (order is preserved in the result).
+    cores, accelerators, method, time_limit, warm_start:
+        Passed through to :func:`repro.ilp.makespan.minimum_makespan`
+        (``warm_start=False`` forces genuine cold HiGHS solves, e.g. for
+        oracle cross-checks).
+    jobs:
+        Worker-process count for the unique instances; ``None``/``0``/``1``
+        run serially.  Results are bit-identical to the serial path.
+    use_cache:
+        Consult and fill the process-wide oracle memo.  ``False`` forces
+        every unique instance to be re-solved (batch-local deduplication
+        still applies).
+
+    Returns
+    -------
+    list[MakespanResult]
+        One result per task, aligned with the input order.  Duplicated
+        instances share one result object.
+    """
+    task_list = list(tasks)
+    keys = [
+        _instance_key(task, cores, accelerators, method, time_limit, warm_start)
+        for task in task_list
+    ]
+
+    resolved: dict[tuple, MakespanResult] = {}
+    pending: list[tuple] = []
+    pending_work: list[tuple] = []
+    for task, key in zip(task_list, keys):
+        if key in resolved:
+            continue
+        if use_cache and key in _ORACLE_CACHE:
+            resolved[key] = _ORACLE_CACHE[key]
+            continue
+        resolved[key] = None  # type: ignore[assignment]  # placeholder
+        pending.append(key)
+        pending_work.append(
+            (task, cores, accelerators, method, time_limit, warm_start)
+        )
+
+    if pending_work:
+        solutions = parallel_map(_solve_one, pending_work, jobs=jobs)
+        for key, solution in zip(pending, solutions):
+            resolved[key] = solution
+            if use_cache:
+                if len(_ORACLE_CACHE) >= _CACHE_LIMIT:
+                    _ORACLE_CACHE.clear()
+                _ORACLE_CACHE[key] = solution
+
+    return [resolved[key] for key in keys]

@@ -16,12 +16,16 @@ from __future__ import annotations
 
 from typing import Union
 
+from ..core.graph import NodeId
 from ..core.task import DagTask
-from ..simulation.engine import simulate_makespan
 from ..simulation.platform import Platform
 from ..simulation.schedulers import BreadthFirstPolicy, CriticalPathFirstPolicy
 
-__all__ = ["makespan_lower_bound", "list_schedule_upper_bound"]
+__all__ = [
+    "makespan_lower_bound",
+    "list_schedule_upper_bound",
+    "best_list_schedule",
+]
 
 
 def makespan_lower_bound(task: DagTask, cores: int, accelerators: int = 1) -> float:
@@ -44,6 +48,36 @@ def makespan_lower_bound(task: DagTask, cores: int, accelerators: int = 1) -> fl
     return max(task.critical_path_length, host_volume / cores, accelerator_load)
 
 
+def best_list_schedule(
+    task: DagTask, cores: int, accelerators: int = 1
+) -> tuple[float, dict[NodeId, float]]:
+    """Best concrete list schedule: ``(makespan, start times)``.
+
+    Two list schedules are evaluated -- critical-path-first and
+    breadth-first -- and the one with the smaller makespan is returned
+    together with its per-node start times.  The schedule doubles as the
+    initial incumbent of the branch-and-bound search and as the warm-start
+    upper bound that sizes the time-indexed ILP (horizon and per-node slot
+    windows), which is why the witnessing start times matter and not just
+    the makespan.
+    """
+    from ..simulation.engine import simulate
+
+    platform = Platform(host_cores=cores, accelerators=accelerators)
+    offload = task.is_heterogeneous and accelerators > 0
+    best: tuple[float, dict[NodeId, float]] | None = None
+    for policy in (CriticalPathFirstPolicy(), BreadthFirstPolicy()):
+        trace = simulate(task, platform, policy, offload_enabled=offload)
+        makespan = trace.makespan()
+        if best is None or makespan < best[0]:
+            best = (
+                makespan,
+                {record.node: record.start for record in trace.executions},
+            )
+    assert best is not None
+    return best
+
+
 def list_schedule_upper_bound(
     task: DagTask, cores: int, accelerators: int = 1
 ) -> float:
@@ -53,13 +87,7 @@ def list_schedule_upper_bound(
     breadth-first -- and the smaller makespan is returned; the optimum can
     only be smaller or equal.
     """
-    platform = Platform(host_cores=cores, accelerators=accelerators)
-    offload = task.is_heterogeneous and accelerators > 0
-    candidates = [
-        simulate_makespan(task, platform, CriticalPathFirstPolicy(), offload_enabled=offload),
-        simulate_makespan(task, platform, BreadthFirstPolicy(), offload_enabled=offload),
-    ]
-    return min(candidates)
+    return best_list_schedule(task, cores, accelerators)[0]
 
 
 def _as_platform(platform_or_cores: Union[Platform, int]) -> Platform:

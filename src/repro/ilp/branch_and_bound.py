@@ -1,47 +1,85 @@
-"""Exact branch-and-bound minimum-makespan solver (integer start times).
+"""Exact branch-and-bound minimum-makespan solver with dominance pruning.
 
 An independent exact solver used to cross-check the ILP.  The paper only had
 CPLEX as its makespan oracle; having two independent oracles materially
-increases confidence in the reproduction (see
-``benchmarks/bench_ablation_ilp.py`` and ``tests/test_ilp.py``).
+increases confidence in the reproduction (see ``benchmarks/bench_ilp.py`` and
+``tests/test_oracle_properties.py``).
 
 Approach
 --------
-With integer WCETs there always exists an optimal schedule whose start times
-are integers: repeatedly left-shifting every node of an optimal schedule to
-the earliest instant allowed by its predecessors and by the resource capacity
-terminates with every start time equal to a sum of WCETs.  The solver
-therefore performs a depth-first search over *integer start-time assignments*
-processed in topological order:
+The search enumerates *precedence-feasible node sequences* (linear
+extensions) and turns each prefix into a schedule with the serial
+schedule-generation scheme: every dispatched node starts at the earliest
+instant compatible with its already-scheduled predecessors and with the
+host/accelerator capacity profile.  This is exact:
 
-* a node may start at any integer time between the completion of its latest
-  predecessor and ``incumbent - bottom_level(node)``;
-* host nodes are checked against the host-core capacity ``m``, the offloaded
-  node against the accelerator capacity;
-* branches whose optimistic completion (current makespan, remaining
-  critical path, remaining host load) cannot beat the incumbent are pruned;
-* the incumbent is initialised with a list-schedule makespan, which is also
-  returned if it happens to be optimal.
+  Take any optimal schedule and sort its nodes by ``(start time, dense
+  index)``.  Replaying that sequence with earliest-feasible placement can
+  only left-shift nodes -- a node placed earlier never newly overlaps the
+  window of a later node of the sequence, because every earlier node of the
+  sequence originally *ended* at or before the later node's start or already
+  overlapped it -- so the replay produces a feasible schedule whose makespan
+  is no larger than the optimum.  Enumerating all sequences therefore visits
+  an optimal schedule.
 
-The search is exponential; it is intended for the *small task* sizes the
-paper uses in its ILP comparison (and, in this reproduction, mainly as an
-independent check of the HiGHS results on tiny instances).
+On top of the enumeration the search applies three dominance rules and an
+incremental lower bound, all computed from the cached graph kernel of
+``repro.core.graph`` (topological order, bottom levels):
+
+* **symmetric-core canonicalisation** -- resources are modelled as capacity
+  profiles (``usage[t] <= m``), never as labelled cores, so the ``m!``
+  per-core relabellings of every schedule collapse into one search state;
+* **equal-WCET node ordering** -- *twin* nodes (equal WCET, same resource
+  class, identical predecessor and successor sets) are interchangeable;
+  the search only dispatches a twin once all its lower-indexed twins are
+  scheduled, removing the factorial blow-up of parallel sections with
+  repeated WCETs;
+* **scheduled-prefix memoisation** -- two sequence prefixes that schedule
+  the same node set with the same resource profiles and the same finish
+  times of nodes that still have unscheduled successors generate identical
+  subtrees; revisited states are cut (sound because the incumbent only
+  improves over time, so the first visit explored the subtree at least as
+  permissively);
+* **incremental lower-bound pruning** -- each state is bounded by the
+  critical path of the remainder (precedence-based earliest starts plus
+  cached bottom levels) and by an energetic host-work bound
+  ``t + ceil((work released at or after t + committed host work after t)
+  / m)``; states that cannot beat the incumbent are discarded, and a state
+  in which some unscheduled node can no longer start early enough to beat
+  the incumbent is discarded outright (earliest feasible starts only grow
+  along a branch).
+
+The incumbent is initialised with the better of two list schedules
+(critical-path-first and breadth-first), which is also returned when it
+happens to be optimal.
+
+The pre-PR-2 engine -- depth-first enumeration of integer start times in
+topological order with only the tail/host-load bound -- is retained verbatim
+as ``pruning=False``; the benchmark harness uses it as the unpruned
+reference the pruned search must agree with (``BENCH_PR2.json``).
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..core.exceptions import SolverError
 from ..core.graph import NodeId
 from ..core.task import DagTask
-from .bounds import list_schedule_upper_bound, makespan_lower_bound
+from .bounds import best_list_schedule, makespan_lower_bound
 
 __all__ = ["BranchAndBoundResult", "branch_and_bound_makespan"]
 
 #: Hard limit on the number of non-zero-WCET nodes the search will accept.
 _MAX_NODES = 20
+
+#: Safety cap on the memory held by the scheduled-prefix memo.  Each
+#: signature embeds two horizon-length byte strings, so the per-call entry
+#: budget is derived from the horizon rather than fixed in entries.
+_MEMO_BYTE_LIMIT = 64 << 20
 
 
 @dataclass
@@ -60,12 +98,20 @@ class BranchAndBoundResult:
     optimal:
         ``True`` when the search ran to completion, i.e. the result is the
         proven optimum.
+    engine:
+        ``"pruned"`` for the PR-2 dominance-pruned sequence search,
+        ``"reference"`` for the retained unpruned start-time enumeration.
+    memo_hits:
+        Number of states cut by the scheduled-prefix memo (``0`` for the
+        reference engine).
     """
 
     makespan: float
     start_times: dict[NodeId, float]
     explored_states: int
     optimal: bool
+    engine: str = "pruned"
+    memo_hits: int = 0
 
     def __float__(self) -> float:
         return float(self.makespan)
@@ -76,6 +122,9 @@ def branch_and_bound_makespan(
     cores: int,
     accelerators: int = 1,
     state_limit: int = 5_000_000,
+    pruning: bool = True,
+    time_limit: Optional[float] = None,
+    _seed_bounds: Optional[tuple[float, dict, float]] = None,
 ) -> BranchAndBoundResult:
     """Exact minimum makespan of a (small) heterogeneous DAG task.
 
@@ -91,6 +140,21 @@ def branch_and_bound_makespan(
     state_limit:
         Safety cap on the number of explored partial assignments; when hit,
         the best incumbent is returned with ``optimal=False``.
+    pruning:
+        ``True`` (default) runs the dominance-pruned sequence search;
+        ``False`` runs the retained pre-PR-2 start-time enumeration, kept
+        as the unpruned reference for benchmarks and cross-checks.
+    time_limit:
+        Optional wall-clock budget in seconds for the pruned search
+        (checked every few thousand states); when exceeded the incumbent is
+        returned with ``optimal=False``.  A tripped limit trades the
+        bit-determinism of the result for bounded runtime, exactly like the
+        ILP solver's ``time_limit``.  Ignored by the frozen reference
+        engine.
+    _seed_bounds:
+        Internal: precomputed ``(upper, upper_starts, lower)`` incumbent
+        bounds, so callers that already evaluated the list schedules (the
+        ILP warm start) do not pay for them twice.
 
     Raises
     ------
@@ -114,15 +178,277 @@ def branch_and_bound_makespan(
             f"branch-and-bound is limited to {_MAX_NODES} non-trivial nodes, "
             f"task has {len(busy_nodes)}; use the ILP solver instead"
         )
+    if pruning:
+        return _search_pruned(
+            task, cores, accelerators, state_limit, time_limit, _seed_bounds
+        )
+    return _search_reference(task, cores, accelerators, state_limit)
 
+
+def _search_pruned(
+    task: DagTask,
+    cores: int,
+    accelerators: int,
+    state_limit: int,
+    time_limit: Optional[float] = None,
+    seed_bounds: Optional[tuple[float, dict, float]] = None,
+) -> BranchAndBoundResult:
+    """Dominance-pruned serial schedule-generation search (see module docs)."""
+    graph = task.graph
+    nodes = graph.topological_order()
+    n = len(nodes)
+    if seed_bounds is None:
+        ub, ub_starts = best_list_schedule(task, cores, accelerators)
+        lower = makespan_lower_bound(task, cores, accelerators)
+    else:
+        ub, ub_starts, lower = seed_bounds
+    incumbent = int(round(ub))
+    incumbent_starts = {node: float(ub_starts[node]) for node in nodes}
+    global_lower = int(math.ceil(lower - 1e-9))
+    if not nodes or incumbent <= global_lower:
+        # The list schedule already matches the lower bound: proven optimal.
+        return BranchAndBoundResult(
+            makespan=float(incumbent),
+            start_times=incumbent_starts,
+            explored_states=0,
+            optimal=True,
+        )
+
+    index = {node: i for i, node in enumerate(nodes)}
+    wcet = [int(round(graph.wcet(node))) for node in nodes]
+    offloaded: Optional[int] = (
+        index[task.offloaded_node]
+        if task.offloaded_node is not None and accelerators > 0
+        else None
+    )
+    accel_cap = max(accelerators, 1)
+    # Dense indices follow the cached topological order, so predecessors of a
+    # node always carry a smaller index than the node itself.
+    preds = [sorted(index[p] for p in graph.predecessors(node)) for node in nodes]
+    succs = [sorted(index[s] for s in graph.successors(node)) for node in nodes]
+    tail_map = graph.longest_tail_lengths()
+    tail = [int(round(tail_map[node])) for node in nodes]
+
+    # Equal-WCET node ordering: twins (same WCET, same resource class, same
+    # neighbourhoods) may only be dispatched in dense-index order.
+    twin_prev = [-1] * n
+    twin_groups: dict[tuple, int] = {}
+    for i in range(n):
+        key = (wcet[i], i == offloaded, tuple(preds[i]), tuple(succs[i]))
+        if key in twin_groups:
+            twin_prev[i] = twin_groups[key]
+        twin_groups[key] = i
+
+    horizon = incumbent  # every considered interval ends before the incumbent
+    host_usage = bytearray(horizon)
+    accel_usage = bytearray(horizon)
+    starts = [-1] * n
+    finish = [0] * n
+    unscheduled_preds = [len(preds[i]) for i in range(n)]
+    host_intervals: list[tuple[int, int]] = []
+    scheduled_mask = 0
+    full_mask = (1 << n) - 1
+
+    explored = 0
+    truncated = False
+    memo_hits = 0
+    memo: set[tuple] = set()
+    # Entry budget sized so the memo stays within _MEMO_BYTE_LIMIT even for
+    # horizon-length profile strings (~2*horizon bytes plus tuple overhead).
+    memo_limit = max(1 << 14, _MEMO_BYTE_LIMIT // (2 * horizon + 128))
+
+    def earliest_start(i: int, latest: int) -> Optional[int]:
+        """Earliest feasible start of node ``i``, or ``None`` if > ``latest``."""
+        ready = 0
+        for p in preds[i]:
+            if finish[p] > ready:
+                ready = finish[p]
+        duration = wcet[i]
+        if duration == 0:
+            return ready if ready <= latest else None
+        usage, cap = (
+            (accel_usage, accel_cap) if i == offloaded else (host_usage, cores)
+        )
+        t = ready
+        while t <= latest:
+            conflict = -1
+            for x in range(t + duration - 1, t - 1, -1):
+                if usage[x] >= cap:
+                    conflict = x
+                    break
+            if conflict < 0:
+                return t
+            t = conflict + 1
+        return None
+
+    def lower_bound(current_makespan: int) -> int:
+        """Critical-path-of-remainder and energetic host-work bound."""
+        est = [0] * n
+        bound = current_makespan
+        host_events: set[int] = set()
+        for i in range(n):  # topological order
+            if scheduled_mask >> i & 1:
+                continue
+            ready = 0
+            for p in preds[i]:
+                done = finish[p] if scheduled_mask >> p & 1 else est[p] + wcet[p]
+                if done > ready:
+                    ready = done
+            est[i] = ready
+            if ready + tail[i] > bound:
+                bound = ready + tail[i]
+            if i != offloaded and wcet[i] > 0:
+                host_events.add(ready)
+        for t in host_events:
+            work = 0
+            for i in range(n):
+                if (
+                    not scheduled_mask >> i & 1
+                    and i != offloaded
+                    and est[i] >= t
+                ):
+                    work += wcet[i]
+            committed = 0
+            for s, e in host_intervals:
+                if e > t:
+                    committed += e - max(s, t)
+            candidate = t + -(-(work + committed) // cores)
+            if candidate > bound:
+                bound = candidate
+        return bound
+
+    def signature() -> tuple:
+        """Canonical state key: scheduled set, profiles, relevant finishes."""
+        relevant = []
+        for i in range(n):
+            if scheduled_mask >> i & 1:
+                for s in succs[i]:
+                    if not scheduled_mask >> s & 1:
+                        relevant.append(finish[i])
+                        break
+        return (
+            scheduled_mask,
+            bytes(host_usage),
+            bytes(accel_usage),
+            tuple(relevant),
+        )
+
+    def place(i: int, start: int) -> None:
+        nonlocal scheduled_mask
+        starts[i] = start
+        end = start + wcet[i]
+        finish[i] = end
+        if wcet[i]:
+            if i == offloaded:
+                for x in range(start, end):
+                    accel_usage[x] += 1
+            else:
+                for x in range(start, end):
+                    host_usage[x] += 1
+                host_intervals.append((start, end))
+        for s in succs[i]:
+            unscheduled_preds[s] -= 1
+        scheduled_mask |= 1 << i
+
+    def unplace(i: int) -> None:
+        nonlocal scheduled_mask
+        scheduled_mask &= ~(1 << i)
+        for s in succs[i]:
+            unscheduled_preds[s] += 1
+        start, end = starts[i], finish[i]
+        if wcet[i]:
+            if i == offloaded:
+                for x in range(start, end):
+                    accel_usage[x] -= 1
+            else:
+                for x in range(start, end):
+                    host_usage[x] -= 1
+                host_intervals.pop()
+        starts[i] = -1
+
+    deadline = time.perf_counter() + time_limit if time_limit is not None else None
+
+    def dfs(current_makespan: int) -> None:
+        nonlocal incumbent, incumbent_starts, explored, truncated, memo_hits
+        if truncated:
+            return
+        explored += 1
+        if explored > state_limit:
+            truncated = True
+            return
+        if (
+            deadline is not None
+            and explored % 2048 == 0
+            and time.perf_counter() > deadline
+        ):
+            truncated = True
+            return
+        if scheduled_mask == full_mask:
+            if current_makespan < incumbent:
+                incumbent = current_makespan
+                incumbent_starts = {nodes[i]: float(starts[i]) for i in range(n)}
+            return
+        if lower_bound(current_makespan) >= incumbent:
+            return
+        key = signature()
+        if key in memo:
+            memo_hits += 1
+            return
+        if len(memo) < memo_limit:
+            memo.add(key)
+
+        children: list[tuple[int, int, int]] = []
+        for i in range(n):
+            if scheduled_mask >> i & 1 or unscheduled_preds[i]:
+                continue
+            if twin_prev[i] >= 0 and not scheduled_mask >> twin_prev[i] & 1:
+                continue  # equal-WCET ordering: earlier twin goes first
+            start = earliest_start(i, incumbent - 1 - tail[i])
+            if start is None:
+                # Earliest feasible starts only grow along a branch, so no
+                # extension of this prefix can beat the incumbent.
+                return
+            children.append((start, -tail[i], i))
+        children.sort()
+        for start, _neg_tail, i in children:
+            if truncated:
+                return
+            if start + tail[i] >= incumbent:
+                continue  # the incumbent improved since the child was built
+            place(i, start)
+            dfs(current_makespan if finish[i] < current_makespan else finish[i])
+            unplace(i)
+
+    dfs(0)
+
+    return BranchAndBoundResult(
+        makespan=float(incumbent),
+        start_times=incumbent_starts,
+        explored_states=explored,
+        optimal=not truncated,
+        memo_hits=memo_hits,
+    )
+
+
+def _search_reference(
+    task: DagTask, cores: int, accelerators: int, state_limit: int
+) -> BranchAndBoundResult:
+    """Unpruned pre-PR-2 engine: integer start-time enumeration.
+
+    Kept verbatim (modulo the shared incumbent initialisation) as the
+    reference the pruned search is benchmarked and cross-checked against.
+    """
+    graph = task.graph
+    nodes = graph.topological_order()
     offloaded: Optional[NodeId] = task.offloaded_node if accelerators > 0 else None
     wcet = {node: int(round(graph.wcet(node))) for node in nodes}
     predecessors = {node: graph.predecessors(node) for node in nodes}
     tail = graph.longest_tail_lengths()
     total_host_work = sum(wcet[node] for node in nodes if node != offloaded)
 
-    incumbent = int(round(list_schedule_upper_bound(task, cores, accelerators)))
-    incumbent_starts = _list_schedule_starts(task, cores, accelerators)
+    ub, ub_starts = best_list_schedule(task, cores, accelerators)
+    incumbent = int(round(ub))
+    incumbent_starts = {node: float(ub_starts[node]) for node in nodes}
     global_lower = makespan_lower_bound(task, cores, accelerators)
 
     explored = 0
@@ -216,22 +542,5 @@ def branch_and_bound_makespan(
         start_times=incumbent_starts,
         explored_states=explored,
         optimal=not truncated,
+        engine="reference",
     )
-
-
-def _list_schedule_starts(
-    task: DagTask, cores: int, accelerators: int
-) -> dict[NodeId, float]:
-    """Start times of a critical-path-first list schedule (initial incumbent)."""
-    from ..simulation.engine import simulate
-    from ..simulation.platform import Platform
-    from ..simulation.schedulers import CriticalPathFirstPolicy
-
-    platform = Platform(host_cores=cores, accelerators=max(accelerators, 1))
-    trace = simulate(
-        task,
-        platform,
-        CriticalPathFirstPolicy(),
-        offload_enabled=task.is_heterogeneous and accelerators > 0,
-    )
-    return {record.node: record.start for record in trace.executions}

@@ -11,7 +11,7 @@ schedule and checks their legality.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.exceptions import SolverError
@@ -35,7 +35,12 @@ class MakespanMethod(enum.Enum):
 
 @dataclass
 class MakespanResult:
-    """Minimum makespan of a task together with a witnessing schedule."""
+    """Minimum makespan of a task together with a witnessing schedule.
+
+    ``engine_stats`` records the cost of the solve: ``explored_states``,
+    ``memo_hits`` and ``engine`` for the branch-and-bound,
+    ``variables``/``constraints``/``horizon``/``warm_started`` for the ILP.
+    """
 
     makespan: float
     start_times: dict[NodeId, float]
@@ -43,6 +48,7 @@ class MakespanResult:
     optimal: bool
     cores: int
     accelerators: int
+    engine_stats: dict = field(default_factory=dict)
 
     def __float__(self) -> float:
         return float(self.makespan)
@@ -100,6 +106,7 @@ def minimum_makespan(
     method: MakespanMethod = MakespanMethod.AUTO,
     time_limit: Optional[float] = None,
     mip_gap: float = 0.0,
+    warm_start: bool = True,
 ) -> MakespanResult:
     """Minimum makespan of a heterogeneous DAG task on ``m`` cores + device.
 
@@ -114,8 +121,15 @@ def minimum_makespan(
     method:
         ``ILP`` (HiGHS), ``BRANCH_AND_BOUND`` or ``AUTO``.
     time_limit, mip_gap:
-        Passed through to the ILP solver.  When a time limit truncates the
-        ILP the result may be sub-optimal; ``optimal`` reflects it.
+        ``time_limit`` bounds the wall-clock of *either* engine (HiGHS
+        option, or the branch-and-bound's periodic deadline check);
+        ``mip_gap`` applies to the ILP only.  When a limit truncates the
+        solve the result may be sub-optimal; ``optimal`` reflects it.
+    warm_start:
+        Passed through to the ILP solver; ``False`` forces the cold
+        (pre-PR-2) model so HiGHS genuinely solves the instance -- required
+        when the result serves as an *independent* cross-check of the
+        branch-and-bound (both warm-start ingredients are shared with it).
     """
     if method is MakespanMethod.AUTO:
         busy = sum(1 for node in task.graph.nodes() if task.graph.wcet(node) > 0)
@@ -124,10 +138,17 @@ def minimum_makespan(
         )
 
     if method is MakespanMethod.BRANCH_AND_BOUND:
-        result = branch_and_bound_makespan(task, cores, accelerators)
+        result = branch_and_bound_makespan(
+            task, cores, accelerators, time_limit=time_limit
+        )
         makespan = result.makespan
         starts = result.start_times
         optimal = result.optimal
+        stats = {
+            "engine": result.engine,
+            "explored_states": result.explored_states,
+            "memo_hits": result.memo_hits,
+        }
     else:
         solution = solve_minimum_makespan(
             task,
@@ -135,10 +156,17 @@ def minimum_makespan(
             accelerators,
             time_limit=time_limit,
             mip_gap=mip_gap,
+            warm_start=warm_start,
         )
         makespan = solution.makespan
         starts = solution.start_times
         optimal = solution.optimal
+        stats = {
+            "variables": solution.variable_count,
+            "constraints": solution.constraint_count,
+            "horizon": solution.horizon,
+            "warm_started": solution.warm_started,
+        }
 
     verify_schedule(task, starts, cores, accelerators)
     lower = makespan_lower_bound(task, cores, accelerators)
@@ -153,4 +181,5 @@ def minimum_makespan(
         optimal=optimal,
         cores=cores,
         accelerators=accelerators,
+        engine_stats=stats,
     )

@@ -5,6 +5,24 @@ mixed-integer solver bundled with SciPy (:func:`scipy.optimize.milp`), which
 is freely available and returns the same quantity -- the minimum makespan of
 a heterogeneous DAG task on ``m`` host cores plus one accelerator -- for the
 instance sizes used in the experiments.
+
+Warm start (PR 2)
+-----------------
+``scipy.optimize.milp`` does not expose HiGHS MIP starts, so the warm start
+injects the incumbent through the *model* instead of through the solver:
+
+* the horizon defaults to the best known upper bound -- the better of the
+  two list schedules (:func:`repro.ilp.bounds.best_list_schedule`),
+  optionally improved by a truncated branch-and-bound probe whose incumbent
+  is a genuine schedule and therefore a valid horizon;
+* the per-node start windows are tightened to ``[est_i, H - tail_i]``
+  (:func:`repro.ilp.formulation.build_formulation`);
+* when the upper bound already matches the makespan lower bound the list
+  schedule is provably optimal and no MILP is solved at all.
+
+All of this changes model size and solve time only -- never the optimum.
+Pass ``warm_start=False`` to reproduce the pre-PR-2 cold model (used by the
+cross-oracle property harness so HiGHS genuinely solves every instance).
 """
 
 from __future__ import annotations
@@ -18,9 +36,14 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from ..core.exceptions import SolverError
 from ..core.graph import NodeId
 from ..core.task import DagTask
-from .formulation import TimeIndexedFormulation, build_formulation
+from .bounds import best_list_schedule, makespan_lower_bound
+from .formulation import TimeIndexedFormulation, _integer_wcets, build_formulation
 
 __all__ = ["IlpSolution", "solve_formulation", "solve_minimum_makespan"]
+
+#: State cap of the branch-and-bound probe that improves the warm-start
+#: horizon; small enough to be cheap next to any non-trivial MILP solve.
+_PROBE_STATE_LIMIT = 5_000
 
 
 @dataclass
@@ -38,7 +61,13 @@ class IlpSolution:
     status:
         Raw solver status string, useful for diagnostics.
     variable_count, constraint_count:
-        Size of the solved model.
+        Size of the solved model (``0`` when the warm start proved the list
+        schedule optimal and no MILP was built).
+    horizon:
+        Scheduling horizon of the solved model (``0`` when no MILP was
+        built).
+    warm_started:
+        ``True`` when the model was sized by the warm-start bounds.
     """
 
     makespan: float
@@ -47,6 +76,8 @@ class IlpSolution:
     status: str
     variable_count: int
     constraint_count: int
+    horizon: int = 0
+    warm_started: bool = False
 
     def __float__(self) -> float:
         return float(self.makespan)
@@ -113,6 +144,7 @@ def solve_formulation(
         status=str(result.message),
         variable_count=formulation.variable_count,
         constraint_count=formulation.constraint_count,
+        horizon=formulation.horizon,
     )
 
 
@@ -123,7 +155,76 @@ def solve_minimum_makespan(
     horizon: Optional[int] = None,
     time_limit: Optional[float] = None,
     mip_gap: float = 0.0,
+    warm_start: bool = True,
 ) -> IlpSolution:
-    """Build and solve the minimum-makespan ILP for a task in one call."""
-    formulation = build_formulation(task, cores, accelerators, horizon)
-    return solve_formulation(formulation, time_limit=time_limit, mip_gap=mip_gap)
+    """Build and solve the minimum-makespan ILP for a task in one call.
+
+    Parameters
+    ----------
+    warm_start:
+        Size the model with the warm-start bounds (see the module
+        docstring): tightened per-node windows, a horizon equal to the best
+        known incumbent, and a no-solve short circuit when the incumbent
+        matches the lower bound.  ``False`` reproduces the pre-PR-2 cold
+        model; an explicitly passed ``horizon`` always wins over the
+        warm-start horizon.
+    """
+    if not warm_start:
+        formulation = build_formulation(
+            task, cores, accelerators, horizon, tighten_windows=False
+        )
+        return solve_formulation(formulation, time_limit=time_limit, mip_gap=mip_gap)
+
+    # The warm path must honour the same contract as the cold model even
+    # when it short-circuits before building a formulation.
+    if cores < 1:
+        raise SolverError(f"cores must be >= 1, got {cores}")
+    if accelerators < 0:
+        raise SolverError(f"accelerators must be >= 0, got {accelerators}")
+    _integer_wcets(task)
+
+    upper, upper_starts = best_list_schedule(task, cores, accelerators)
+    lower = makespan_lower_bound(task, cores, accelerators)
+    if horizon is None and upper <= lower + 1e-9:
+        # The list schedule matches the lower bound: provably optimal, and
+        # the witnessing schedule is already in hand.
+        return IlpSolution(
+            makespan=float(upper),
+            start_times={node: float(s) for node, s in upper_starts.items()},
+            optimal=True,
+            status="warm start: list schedule matches the lower bound "
+            "(no MILP solved)",
+            variable_count=0,
+            constraint_count=0,
+            warm_started=True,
+        )
+
+    incumbent = int(round(upper))
+    if horizon is None:
+        # A truncated branch-and-bound probe often finds a better incumbent;
+        # its schedule is feasible, so its makespan is a valid horizon.  The
+        # probe only shrinks the model -- HiGHS still solves the instance,
+        # keeping the two oracles independent.
+        from .branch_and_bound import _MAX_NODES, branch_and_bound_makespan
+
+        busy = sum(1 for node in task.graph.nodes() if task.graph.wcet(node) > 0)
+        if busy <= _MAX_NODES:
+            probe = branch_and_bound_makespan(
+                task,
+                cores,
+                accelerators,
+                state_limit=_PROBE_STATE_LIMIT,
+                _seed_bounds=(upper, upper_starts, lower),
+            )
+            incumbent = min(incumbent, int(round(probe.makespan)))
+
+    formulation = build_formulation(
+        task,
+        cores,
+        accelerators,
+        horizon if horizon is not None else incumbent,
+        tighten_windows=True,
+    )
+    solution = solve_formulation(formulation, time_limit=time_limit, mip_gap=mip_gap)
+    solution.warm_started = True
+    return solution

@@ -223,10 +223,15 @@ def simulate(
                     ),
                 )
 
-    # Seed the simulation with the source nodes.
-    for node in graph.nodes():
-        if in_degree[node] == 0:
-            enqueue(node, 0.0)
+    # Seed the simulation with the source nodes.  The source set must be
+    # snapshotted first: enqueueing an instant (zero-WCET) source resolves
+    # it immediately and decrements successor in-degrees, and a successor
+    # that reaches zero mid-loop has already been enqueued by that
+    # resolution -- reading ``in_degree`` live would enqueue it twice and
+    # leave ``remaining`` to hit zero before every node has run.
+    sources = [node for node in graph.nodes() if in_degree[node] == 0]
+    for node in sources:
+        enqueue(node, 0.0)
 
     current_time = 0.0
     while remaining > 0:

@@ -1,0 +1,87 @@
+"""Exhaustive brute-force makespan oracle for tiny instances.
+
+The third, fully independent oracle of the cross-validation harness
+(``tests/test_oracle_properties.py``).  It enumerates *every*
+precedence-feasible dispatch sequence and greedily left-shifts each
+dispatched node, which visits every active schedule -- a set guaranteed to
+contain an optimum for makespan minimisation.  No bounds, no dominance
+rules, no memoisation, no shared code with ``repro.ilp``: the
+implementation is deliberately naive so that agreement with the pruned
+branch-and-bound and the HiGHS ILP is meaningful evidence, not an artefact
+of shared machinery.
+
+Complexity is factorial; the oracle refuses instances with more than
+``MAX_BUSY_NODES`` non-trivial nodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.task import DagTask
+
+__all__ = ["MAX_BUSY_NODES", "exhaustive_minimum_makespan"]
+
+#: Upper limit on non-zero-WCET nodes (factorial enumeration beyond this).
+MAX_BUSY_NODES = 8
+
+
+def exhaustive_minimum_makespan(
+    task: DagTask, cores: int, accelerators: int = 1
+) -> float:
+    """Minimum makespan by exhaustive enumeration of dispatch sequences."""
+    graph = task.graph
+    nodes = list(graph.nodes())
+    wcet = {node: int(round(graph.wcet(node))) for node in nodes}
+    if any(abs(graph.wcet(node) - wcet[node]) > 1e-9 for node in nodes):
+        raise ValueError("exhaustive oracle requires integer WCETs")
+    busy = sum(1 for node in nodes if wcet[node] > 0)
+    if busy > MAX_BUSY_NODES:
+        raise ValueError(
+            f"exhaustive oracle is limited to {MAX_BUSY_NODES} busy nodes, got {busy}"
+        )
+    predecessors = {node: set(graph.predecessors(node)) for node in nodes}
+    offloaded = task.offloaded_node if accelerators > 0 else None
+    accel_capacity = max(accelerators, 1)
+
+    horizon = sum(wcet.values()) + max(wcet.values(), default=0) + 1
+    host_usage = [0] * horizon
+    accel_usage = [0] * horizon
+    finish: dict = {}
+    best = [float("inf")]
+
+    def earliest_feasible_start(node) -> int:
+        ready = max((finish[p] for p in predecessors[node]), default=0)
+        duration = wcet[node]
+        if duration == 0:
+            return ready
+        if node == offloaded:
+            usage, capacity = accel_usage, accel_capacity
+        else:
+            usage, capacity = host_usage, cores
+        start = ready
+        while any(usage[t] >= capacity for t in range(start, start + duration)):
+            start += 1
+        return start
+
+    def enumerate_sequences(remaining: set, current_makespan: int) -> None:
+        if not remaining:
+            if current_makespan < best[0]:
+                best[0] = current_makespan
+            return
+        for node in list(remaining):
+            if predecessors[node] & remaining:
+                continue  # not yet dispatchable
+            start = earliest_feasible_start(node)
+            end = start + wcet[node]
+            usage = accel_usage if node == offloaded else host_usage
+            for t in range(start, end):
+                usage[t] += 1
+            finish[node] = end
+            remaining.discard(node)
+            enumerate_sequences(remaining, max(current_makespan, end))
+            remaining.add(node)
+            del finish[node]
+            for t in range(start, end):
+                usage[t] -= 1
+
+    enumerate_sequences(set(nodes), 0)
+    return float(best[0])

@@ -21,10 +21,12 @@ from repro.generator.random_dag import DagStructureGenerator
 
 __all__ = [
     "small_task_parameters",
+    "tiny_oracle_parameters",
     "host_tasks",
     "heterogeneous_tasks",
     "make_random_host_task",
     "make_random_heterogeneous_task",
+    "make_tiny_integer_task",
 ]
 
 
@@ -79,6 +81,33 @@ def make_random_integer_heterogeneous_task(
     """
     task = make_random_heterogeneous_task(seed, offload_fraction, n_max, c_max)
     return task.with_offloaded_wcet(max(1.0, float(round(task.offloaded_wcet))))
+
+
+def make_tiny_integer_task(
+    seed: int,
+    offload_fraction: float = 0.25,
+    n_max: int = 6,
+    c_max: int = 5,
+) -> DagTask:
+    """A tiny heterogeneous task with integer WCETs (exhaustive-oracle size).
+
+    With ``n_max <= 8`` the generated task fits the factorial brute-force
+    oracle in ``tests/exhaustive.py``; the WCET range is kept small so the
+    cold (unpruned) time-indexed ILP also stays fast.
+    """
+    return make_random_integer_heterogeneous_task(
+        seed, offload_fraction, n_max=n_max, c_max=c_max
+    )
+
+
+@st.composite
+def tiny_oracle_parameters(draw):
+    """Draw (seed, offload_fraction, cores, accelerators) for oracle tests."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    fraction = draw(st.floats(min_value=0.05, max_value=0.6, allow_nan=False))
+    cores = draw(st.sampled_from([1, 2, 3]))
+    accelerators = draw(st.sampled_from([0, 1]))
+    return seed, fraction, cores, accelerators
 
 
 @st.composite
