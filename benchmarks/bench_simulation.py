@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Benchmark of the PR-3 dense simulation core on the Figure 6 workload.
+
+Measures, on the quick-scale Figure 6 task ensemble (paired ``C_off``
+sweep over large random DAGs, ``n in [100, 250]``, original + transformed
+variants, ``m in {2, 8}``):
+
+* **reference trace engine** -- ``simulate(...).makespan()``: object-keyed
+  dispatch, one ``NodeExecution`` per node, full trace assembly;
+* **dense fast path** -- ``simulate_makespan_dense`` per call: integer
+  dense indices, preallocated arrays, no trace;
+* **batched dense path** -- ``simulate_many`` (serial, like-for-like
+  ``jobs``): one compile per task variant serving every ``(cores,
+  variant)`` cell.
+
+Every makespan must be bit-identical across the three paths; the
+acceptance threshold requires the batched dense path to be at least
+``SPEEDUP_TARGET`` times faster end-to-end than the reference engine.
+Aggregated results are written to ``BENCH_PR3.json`` at the repository
+root, extending the performance trajectory of ``BENCH_PR1.json`` (cached
+graph kernel) and ``BENCH_PR2.json`` (exact-makespan oracles).
+
+Run with:  python benchmarks/bench_simulation.py  [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.transformation import transform  # noqa: E402
+from repro.experiments.config import quick_scale  # noqa: E402
+from repro.generator.config import OffloadConfig  # noqa: E402
+from repro.generator.presets import LARGE_TASKS_FIG6  # noqa: E402
+from repro.generator.sweep import chunked_offload_fraction_sweep  # noqa: E402
+from repro.simulation.batch import simulate_many  # noqa: E402
+from repro.simulation.dense import simulate_makespan_dense  # noqa: E402
+from repro.simulation.engine import simulate  # noqa: E402
+from repro.simulation.platform import Platform  # noqa: E402
+from repro.simulation.schedulers import BreadthFirstPolicy  # noqa: E402
+
+OUTPUT = _REPO_ROOT / "BENCH_PR3.json"
+
+#: Acceptance threshold: the batched dense path must be at least this many
+#: times faster than the reference trace engine on the Figure 6 workload.
+SPEEDUP_TARGET = 3.0
+
+
+#: Timed repetitions per path; the best (minimum) time is reported, which
+#: makes the smoke gate robust against scheduler noise on shared CI runners.
+REPEATS = 3
+
+
+def figure6_workload(smoke: bool) -> tuple[list, list[Platform]]:
+    """Original + transformed tasks of a quick-scale Figure 6 sweep point."""
+    scale = quick_scale()
+    fractions = [0.2] if smoke else [0.04, 0.2, 0.5]
+    dags_per_point = 6 if smoke else scale.dags_per_point
+    points = chunked_offload_fraction_sweep(
+        fractions=fractions,
+        dags_per_point=dags_per_point,
+        generator_config=LARGE_TASKS_FIG6,
+        offload_config=OffloadConfig(),
+        root_seed=scale.seed,
+    )
+    tasks = [task for point in points for task in point.tasks]
+    tasks = tasks + [transform(task).task for task in tasks]
+    platforms = [Platform(cores, 1) for cores in scale.core_counts]
+    return tasks, platforms
+
+
+def _best_of(run) -> tuple[float, list]:
+    best_s, makespans = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run()
+        best_s = min(best_s, time.perf_counter() - t0)
+        makespans = result
+    return best_s, makespans
+
+
+def bench_reference(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
+    policy = BreadthFirstPolicy()
+    return _best_of(
+        lambda: [
+            simulate(task, platform, policy).makespan()
+            for task in tasks
+            for platform in platforms
+        ]
+    )
+
+
+def bench_dense(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
+    policy = BreadthFirstPolicy()
+    return _best_of(
+        lambda: [
+            simulate_makespan_dense(task, platform, policy)
+            for task in tasks
+            for platform in platforms
+        ]
+    )
+
+
+def bench_batched(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
+    elapsed, grid = _best_of(
+        lambda: simulate_many(tasks, platforms, BreadthFirstPolicy())
+    )
+    return elapsed, [float(value) for value in grid.reshape(-1)]
+
+
+def main() -> dict:
+    smoke = "--smoke" in sys.argv
+    tasks, platforms = figure6_workload(smoke)
+    simulations = len(tasks) * len(platforms)
+    node_counts = [task.node_count for task in tasks]
+
+    reference_s, reference = bench_reference(tasks, platforms)
+    dense_s, dense = bench_dense(tasks, platforms)
+    batched_s, batched = bench_batched(tasks, platforms)
+
+    identical = reference == dense == batched
+    speedup = reference_s / max(batched_s, 1e-9)
+    per_call_speedup = reference_s / max(dense_s, 1e-9)
+
+    document = {
+        "benchmark": "dense_simulation",
+        "pr": 3,
+        "description": (
+            "Trace-free dense-index simulation core (simulate_makespan_dense "
+            "+ batched simulate_many with one compile per task variant) vs "
+            "the object-keyed trace engine, on the quick-scale Figure 6 "
+            "workload (see docs/performance.md)."
+        ),
+        "smoke": smoke,
+        "simulations": simulations,
+        "tasks": len(tasks),
+        "platforms": [platform.host_cores for platform in platforms],
+        "mean_nodes": float(np.mean(node_counts)),
+        "reference_engine_s": reference_s,
+        "dense_per_call_s": dense_s,
+        "dense_batched_s": batched_s,
+        "per_call_speedup": per_call_speedup,
+        "batched_speedup": speedup,
+        "makespans_identical": identical,
+        "acceptance": {
+            "speedup": speedup,
+            "speedup_target": SPEEDUP_TARGET,
+            "speedup_met": speedup >= SPEEDUP_TARGET,
+            "makespans_identical": identical,
+        },
+    }
+
+    print(
+        f"figure 6 workload: {simulations} simulations "
+        f"({len(tasks)} task variants x m in "
+        f"{[p.host_cores for p in platforms]}, "
+        f"mean n = {document['mean_nodes']:.0f})"
+    )
+    print(
+        f"reference trace engine: {reference_s:.2f}s | dense per-call: "
+        f"{dense_s:.2f}s (x{per_call_speedup:.1f}) | dense batched: "
+        f"{batched_s:.2f}s (x{speedup:.1f})"
+    )
+    if not smoke:
+        OUTPUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"results written to {OUTPUT}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: dense batched x{accepted['speedup']:.1f} "
+        f"(target x{accepted['speedup_target']:.0f}) -> "
+        f"{'PASS' if accepted['speedup_met'] else 'FAIL'}; "
+        f"makespans identical -> "
+        f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    result = main()
+    accepted = result["acceptance"]
+    if not (accepted["speedup_met"] and accepted["makespans_identical"]):
+        sys.exit(1)

@@ -24,6 +24,7 @@ from .analysis import (
     percentage_change,
 )
 from .core import (
+    CompiledTask,
     DagTask,
     DirectedAcyclicGraph,
     TaskSet,
@@ -41,7 +42,13 @@ from .generator import (
     make_heterogeneous,
     pin_offloaded_fraction,
 )
-from .simulation import BreadthFirstPolicy, Platform, simulate, simulate_makespan
+from .simulation import (
+    BreadthFirstPolicy,
+    Platform,
+    simulate,
+    simulate_makespan,
+    simulate_many,
+)
 
 __version__ = "1.0.0"
 
@@ -49,6 +56,7 @@ __all__ = [
     "__version__",
     # core
     "DirectedAcyclicGraph",
+    "CompiledTask",
     "DagTask",
     "TaskSet",
     "TransformedTask",
@@ -78,5 +86,6 @@ __all__ = [
     "Platform",
     "simulate",
     "simulate_makespan",
+    "simulate_many",
     "BreadthFirstPolicy",
 ]

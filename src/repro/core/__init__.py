@@ -4,6 +4,7 @@ This subpackage contains everything that is independent of a particular
 analysis or scheduler:
 
 * :mod:`repro.core.graph` -- the weighted DAG substrate;
+* :mod:`repro.core.compiled` -- the public dense-index ``CompiledTask`` view;
 * :mod:`repro.core.task` -- the sporadic heterogeneous DAG task model;
 * :mod:`repro.core.validation` -- system-model assumption checks;
 * :mod:`repro.core.transformation` -- Algorithm 1 (the ``v_sync`` insertion);
@@ -25,6 +26,7 @@ from .exceptions import (
     TransformationError,
     ValidationError,
 )
+from .compiled import CompiledTask, compile_task
 from .examples import figure1_task, figure2_expected_edges, figure3_task
 from .graph import DirectedAcyclicGraph, NodeId
 from .task import OFFLOADED_NODE_DEFAULT_ID, DagTask, TaskSet
@@ -35,6 +37,8 @@ __all__ = [
     # graph / task model
     "DirectedAcyclicGraph",
     "NodeId",
+    "CompiledTask",
+    "compile_task",
     "DagTask",
     "TaskSet",
     "OFFLOADED_NODE_DEFAULT_ID",

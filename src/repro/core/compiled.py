@@ -1,0 +1,179 @@
+"""Public, picklable dense-index view of a weighted DAG task.
+
+The private ``_DenseKernel`` of :mod:`repro.core.graph` interns node
+identifiers into dense integer indices with CSR adjacency, but it is
+structure-only and deliberately internal.  The simulation stack (PR 3) needs
+the same view *plus the weights*, shippable between processes: the dense
+simulation core (:mod:`repro.simulation.dense`) and the batched
+:func:`~repro.simulation.batch.simulate_many` operate purely on integer
+indices and preallocated arrays, and the batch layer compiles each task once
+and reuses the compiled view across every ``(cores, variant)`` cell of a
+sweep point.
+
+:class:`CompiledTask` is that view:
+
+* ``nodes`` / ``index`` -- the dense index <-> :data:`NodeId` maps (indices
+  are insertion ranks, so index order *is* node-creation order);
+* ``succ_ptr``/``succ_idx`` and ``pred_ptr``/``pred_idx`` -- CSR successor
+  and predecessor arrays shared with the graph's kernel (neighbour indices
+  ascending, i.e. creation order);
+* ``wcet`` -- the WCET vector as a ``numpy.float64`` array (``wcet_list`` is
+  the same vector as plain Python floats, the faster representation for the
+  pure-Python event loop);
+* ``topo`` -- the cached topological order (dense indices);
+* ``instant`` -- the zero-WCET ("instant node") mask;
+* ``in_degree`` -- the initial in-degree of every node.
+
+Compilation is cached on the owning graph's ``(structure, weights)``
+generation stamp: re-compiling an unmutated task is a dictionary lookup, and
+the paired ``C_off`` sweeps (which only call :meth:`set_wcet`) rebuild the
+weight vector but share the kernel's structural arrays.
+
+The view is immutable by convention -- mutate neither the lists nor the
+arrays -- and picklable (unlike the graph's caches, which are dropped on
+pickling); the arrays are shared, never copied, when shipped to worker
+processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from .graph import DirectedAcyclicGraph, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .task import DagTask
+
+__all__ = ["CompiledTask", "compile_graph", "compile_task"]
+
+
+class CompiledTask:
+    """Dense-index view of a weighted acyclic graph (see module docstring)."""
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "succ_ptr",
+        "succ_idx",
+        "pred_ptr",
+        "pred_idx",
+        "topo",
+        "wcet",
+        "wcet_list",
+        "instant",
+        "in_degree",
+        "generation",
+    )
+
+    def __init__(
+        self,
+        nodes: list[NodeId],
+        index: dict[NodeId, int],
+        succ_ptr: list[int],
+        succ_idx: list[int],
+        pred_ptr: list[int],
+        pred_idx: list[int],
+        topo: list[int],
+        wcet: np.ndarray,
+        generation: tuple[int, int],
+    ) -> None:
+        self.nodes = nodes
+        self.index = index
+        self.succ_ptr = succ_ptr
+        self.succ_idx = succ_idx
+        self.pred_ptr = pred_ptr
+        self.pred_idx = pred_idx
+        self.topo = topo
+        self.wcet = wcet
+        self.wcet_list = wcet.tolist()
+        self.instant = wcet == 0.0
+        self.in_degree = [
+            pred_ptr[i + 1] - pred_ptr[i] for i in range(len(nodes))
+        ]
+        self.generation = generation
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of nodes of the compiled view."""
+        return len(self.nodes)
+
+    def successors_of(self, i: int) -> list[int]:
+        """Direct successor indices of dense index ``i`` (creation order)."""
+        return self.succ_idx[self.succ_ptr[i] : self.succ_ptr[i + 1]]
+
+    def predecessors_of(self, i: int) -> list[int]:
+        """Direct predecessor indices of dense index ``i`` (creation order)."""
+        return self.pred_idx[self.pred_ptr[i] : self.pred_ptr[i + 1]]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CompiledTask(nodes={len(self.nodes)}, "
+            f"edges={len(self.succ_idx)}, generation={self.generation})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pickling (slots classes need explicit state)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        return (
+            self.nodes,
+            self.index,
+            self.succ_ptr,
+            self.succ_idx,
+            self.pred_ptr,
+            self.pred_idx,
+            self.topo,
+            self.wcet,
+            self.generation,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        self.__init__(*state)
+
+
+def compile_graph(graph: DirectedAcyclicGraph) -> CompiledTask:
+    """Compile ``graph`` into a :class:`CompiledTask`, cached per generation.
+
+    Raises
+    ------
+    CycleError
+        If the graph contains a cycle (the dense view only exists for DAGs).
+    """
+
+    def build() -> CompiledTask:
+        kernel = graph._kernel()
+        wcet = np.array(
+            [graph.wcet(node) for node in kernel.nodes], dtype=np.float64
+        )
+        return CompiledTask(
+            kernel.nodes,
+            kernel.index,
+            kernel.succ_ptr,
+            kernel.succ_idx,
+            kernel.pred_ptr,
+            kernel.pred_idx,
+            kernel.topo,
+            wcet,
+            graph.cache_generation,
+        )
+
+    return graph._weighted("compiled_task", build)
+
+
+def compile_task(source: Union["DagTask", DirectedAcyclicGraph]) -> CompiledTask:
+    """Compile a :class:`~repro.core.task.DagTask` (or a bare graph).
+
+    The result is cached on the underlying graph's generation stamp, so
+    repeated calls between mutations are free and one compile serves every
+    platform / policy / offload combination the task is simulated under.
+    """
+    graph = getattr(source, "graph", source)
+    return compile_graph(graph)

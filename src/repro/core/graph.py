@@ -530,6 +530,22 @@ class DirectedAcyclicGraph:
         kernel = self._kernel()
         return [kernel.nodes[i] for i in kernel.topo]
 
+    def compiled(self):
+        """The public dense-index view of the graph (weights included).
+
+        Returns the cached :class:`~repro.core.compiled.CompiledTask` for the
+        current ``(structure, weights)`` generation; see
+        :mod:`repro.core.compiled`.
+
+        Raises
+        ------
+        CycleError
+            If the graph contains a cycle.
+        """
+        from .compiled import compile_graph
+
+        return compile_graph(self)
+
     def is_acyclic(self) -> bool:
         """Return ``True`` if the graph contains no directed cycle."""
         return self._acyclic_kernel() is not None

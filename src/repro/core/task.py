@@ -113,6 +113,16 @@ class DagTask:
             metadata=dict(self.metadata),
         )
 
+    def compiled(self):
+        """The dense-index :class:`~repro.core.compiled.CompiledTask` view.
+
+        Compiled once per ``(structure, weights)`` generation of the graph
+        and cached; the dense simulation core and the batched
+        ``simulate_many`` consume this view instead of the object-keyed
+        graph.
+        """
+        return self.graph.compiled()
+
     # ------------------------------------------------------------------
     # Heterogeneity helpers
     # ------------------------------------------------------------------

@@ -48,8 +48,15 @@ def run_scheduler_ablation(
     scale: Optional[ExperimentScale] = None,
     cores: int = 4,
     policies: Optional[Sequence[SchedulingPolicy]] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 6 repeated under several work-conserving scheduling policies.
+
+    Each policy re-runs the rewired Figure 6 driver, so the sweep inherits
+    its chunked parallel generation and the batched dense simulator
+    (:func:`repro.simulation.batch.simulate_many` -- one compile per task
+    variant serves every sweep cell); ``jobs`` is forwarded with
+    bit-identical results.
 
     Returns
     -------
@@ -73,7 +80,7 @@ def run_scheduler_ablation(
         metadata={"cores": cores, "policies": [policy.name for policy in policies]},
     )
     for policy in policies:
-        figure = run_figure6(scale=scale, policy=policy)
+        figure = run_figure6(scale=scale, policy=policy, jobs=jobs)
         series = figure.series_by_label(f"m={cores}")
         series.label = policy.name
         result.add_series(series)

@@ -29,9 +29,9 @@ from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import GeneratorConfig, OffloadConfig
 from ..generator.presets import LARGE_TASKS_FIG6
-from ..generator.sweep import offload_fraction_sweep
+from ..generator.sweep import chunked_offload_fraction_sweep
 from ..parallel import parallel_map, spawn_seeds
-from ..simulation.engine import simulate_makespan
+from ..simulation.batch import simulate_many
 from ..simulation.platform import Platform
 from ..simulation.schedulers import BreadthFirstPolicy, SchedulingPolicy
 from .base import ExperimentResult, ExperimentSeries
@@ -41,31 +41,30 @@ __all__ = ["run_figure6"]
 
 
 def _evaluate_point(
-    args: tuple[list[DagTask], tuple[int, ...], SchedulingPolicy]
+    args: tuple[list[DagTask], tuple[int, ...], SchedulingPolicy, int]
 ) -> list[tuple[float, float]]:
     """Worker: simulate one sweep point for every host size.
 
     The tasks are transformed once (Algorithm 1 does not depend on ``m``)
-    and both variants are simulated on every requested host size.  Returns
-    one ``(average original, average transformed)`` makespan pair per core
-    count.
+    and both variants run through the batched dense simulator: each variant
+    is compiled once and that single compile serves every ``(cores,
+    variant)`` cell of the point.  Returns one ``(average original, average
+    transformed)`` makespan pair per core count.
     """
-    tasks, core_counts, policy = args
+    tasks, core_counts, policy, policy_seed = args
     transformed_tasks = [transform(task).task for task in tasks]
-    rows: list[tuple[float, float]] = []
-    for cores in core_counts:
-        platform = Platform(host_cores=cores, accelerators=1)
-        original_makespans = []
-        transformed_makespans = []
-        for task, transformed in zip(tasks, transformed_tasks):
-            original_makespans.append(simulate_makespan(task, platform, policy))
-            transformed_makespans.append(
-                simulate_makespan(transformed, platform, policy)
-            )
-        rows.append(
-            (float(np.mean(original_makespans)), float(np.mean(transformed_makespans)))
+    platforms = [Platform(host_cores=cores, accelerators=1) for cores in core_counts]
+    makespans = simulate_many(
+        tasks + transformed_tasks, platforms, policy, root_seed=policy_seed
+    )
+    count = len(tasks)
+    return [
+        (
+            float(np.mean(makespans[:count, core_index, 0])),
+            float(np.mean(makespans[count:, core_index, 0])),
         )
-    return rows
+        for core_index in range(len(core_counts))
+    ]
 
 
 def run_figure6(
@@ -88,12 +87,15 @@ def run_figure6(
         breadth-first policy.  The scheduler ablation benchmark passes other
         policies here.
     jobs:
-        Number of worker processes for the simulation sweep; ``None``/``1``
-        runs serially.  Task generation always happens serially up front and
-        each sweep point receives its own policy via
-        :meth:`~repro.simulation.schedulers.SchedulingPolicy.spawned`
+        Number of worker processes; ``None``/``1`` runs serially.  Both
+        stages honour it with bit-identical results: generation uses the
+        chunked seeded scheme
+        (:func:`~repro.generator.sweep.chunked_offload_fraction_sweep`,
+        draw-identical for any worker count), and the simulation sweep
+        distributes one chunk per point, each point receiving its own policy
+        via :meth:`~repro.simulation.schedulers.SchedulingPolicy.spawned`
         (deterministic policies: a plain copy; ``RandomPolicy``: reseeded
-        per point), so the results are bit-identical to the serial path.
+        per point).
 
     Returns
     -------
@@ -104,14 +106,13 @@ def run_figure6(
     """
     scale = scale or quick_scale()
     policy = policy or BreadthFirstPolicy()
-    rng = np.random.default_rng(scale.seed)
-    points = offload_fraction_sweep(
+    points = chunked_offload_fraction_sweep(
         fractions=scale.fractions,
         dags_per_point=scale.dags_per_point,
         generator_config=generator_config,
         offload_config=OffloadConfig(),
-        rng=rng,
-        paired=True,
+        root_seed=scale.seed,
+        jobs=jobs,
     )
 
     result = ExperimentResult(
@@ -131,9 +132,10 @@ def run_figure6(
     core_counts = tuple(scale.core_counts)
     # Each sweep point gets its own policy instance (deterministic policies:
     # a plain copy; RandomPolicy: reseeded from a spawned child seed so the
-    # points draw independent streams in any execution order).
+    # points draw independent streams in any execution order); the same
+    # child seed roots the point's simulate_many chunk spawning.
     work = [
-        (point.tasks, core_counts, policy.spawned(seed))
+        (point.tasks, core_counts, policy.spawned(seed), seed)
         for point, seed in zip(points, spawn_seeds(scale.seed, len(points)))
     ]
     rows_per_point = parallel_map(_evaluate_point, work, jobs=jobs)

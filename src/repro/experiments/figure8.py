@@ -20,15 +20,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..analysis.heterogeneous import classify_scenario
 from ..analysis.results import Scenario
 from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import GeneratorConfig, OffloadConfig
 from ..generator.presets import LARGE_TASKS_FIG6
-from ..generator.sweep import offload_fraction_sweep
+from ..generator.sweep import chunked_offload_fraction_sweep
 from ..parallel import parallel_map
 from .base import ExperimentResult, ExperimentSeries
 from .config import ExperimentScale, quick_scale
@@ -71,9 +69,11 @@ def run_figure8(
     Parameters
     ----------
     jobs:
-        Worker-process count for the classification sweep; results are
-        bit-identical to the serial path (the classification is
-        deterministic and generation happens up front).
+        Worker-process count; results are bit-identical to the serial path.
+        Both stages honour it: generation uses the chunked seeded scheme
+        (:func:`~repro.generator.sweep.chunked_offload_fraction_sweep`,
+        draw-identical for any worker count) and the deterministic
+        classification is distributed per sweep point.
 
     Returns
     -------
@@ -83,14 +83,13 @@ def run_figure8(
         offloaded fraction.
     """
     scale = scale or quick_scale()
-    rng = np.random.default_rng(scale.seed + 8)
-    points = offload_fraction_sweep(
+    points = chunked_offload_fraction_sweep(
         fractions=scale.fractions,
         dags_per_point=scale.dags_per_point,
         generator_config=generator_config,
         offload_config=OffloadConfig(),
-        rng=rng,
-        paired=True,
+        root_seed=scale.seed + 8,
+        jobs=jobs,
     )
 
     result = ExperimentResult(

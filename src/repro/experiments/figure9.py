@@ -28,7 +28,7 @@ from ..core.task import DagTask
 from ..core.transformation import transform
 from ..generator.config import GeneratorConfig, OffloadConfig
 from ..generator.presets import LARGE_TASKS_FIG6
-from ..generator.sweep import offload_fraction_sweep
+from ..generator.sweep import chunked_offload_fraction_sweep
 from ..parallel import parallel_map
 from .base import ExperimentResult, ExperimentSeries
 from .config import ExperimentScale, quick_scale
@@ -63,9 +63,11 @@ def run_figure9(
     Parameters
     ----------
     jobs:
-        Worker-process count for the analysis sweep; results are
-        bit-identical to the serial path (the bounds are deterministic and
-        generation happens up front).
+        Worker-process count; results are bit-identical to the serial path.
+        Both stages honour it: generation uses the chunked seeded scheme
+        (:func:`~repro.generator.sweep.chunked_offload_fraction_sweep`,
+        draw-identical for any worker count) and the deterministic bound
+        comparison is distributed per sweep point.
 
     Returns
     -------
@@ -76,14 +78,13 @@ def run_figure9(
         difference and the fraction at which the average peaks.
     """
     scale = scale or quick_scale()
-    rng = np.random.default_rng(scale.seed + 9)
-    points = offload_fraction_sweep(
+    points = chunked_offload_fraction_sweep(
         fractions=scale.fractions,
         dags_per_point=scale.dags_per_point,
         generator_config=generator_config,
         offload_config=OffloadConfig(),
-        rng=rng,
-        paired=True,
+        root_seed=scale.seed + 9,
+        jobs=jobs,
     )
 
     result = ExperimentResult(

@@ -3,13 +3,20 @@
 * :mod:`repro.simulation.platform` -- host + accelerator platform model;
 * :mod:`repro.simulation.schedulers` -- work-conserving ready-queue policies,
   including the GOMP-style breadth-first policy used by the paper;
-* :mod:`repro.simulation.engine` -- the discrete-event list scheduler;
+* :mod:`repro.simulation.engine` -- the discrete-event list scheduler
+  (trace-producing reference implementation);
+* :mod:`repro.simulation.dense` -- the trace-free dense-index fast path
+  (bit-identical makespans, no ``NodeExecution`` churn);
+* :mod:`repro.simulation.batch` -- batched ``simulate_many`` over
+  task x platform x policy grids with one compile per task;
 * :mod:`repro.simulation.trace` -- execution traces with legality validation;
 * :mod:`repro.simulation.worst_case` -- exhaustive / randomised worst-case
   makespan search over work-conserving schedules;
 * :mod:`repro.simulation.metrics` -- aggregate statistics over trace batches.
 """
 
+from .batch import simulate_many
+from .dense import simulate_makespan_dense
 from .engine import simulate, simulate_makespan
 from .metrics import TraceStatistics, average_makespan, speedup, summarise_traces
 from .platform import ACCELERATOR, HOST, INSTANT, Platform
@@ -34,6 +41,8 @@ __all__ = [
     "INSTANT",
     "simulate",
     "simulate_makespan",
+    "simulate_makespan_dense",
+    "simulate_many",
     "ExecutionTrace",
     "NodeExecution",
     "SchedulingPolicy",

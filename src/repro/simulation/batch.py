@@ -1,0 +1,180 @@
+"""Batched simulation over task x platform x policy grids.
+
+The figure 6 sweep (and the scheduler ablation built on it) evaluates the
+same tasks on every host size and for both task variants (original and
+transformed): previously each ``simulate_makespan`` call re-derived
+in-degrees and successor order from scratch.  :func:`simulate_many` is the
+batch entry point that
+
+* compiles each task **once** (:func:`repro.core.compiled.compile_task`) and
+  reuses the compiled view across every ``(platform, policy)`` cell -- one
+  compile serves all ``m`` values and both variants of a sweep point;
+* runs the trace-free dense fast path per cell
+  (:func:`~repro.simulation.dense.simulate_makespan_dense`), or the
+  trace-producing reference engine when ``makespans_only=False``;
+* distributes fixed-size task chunks over a process pool; chunk boundaries
+  and the per-chunk policy instances depend only on ``(tasks, chunk_size,
+  root_seed)`` -- never on the worker count -- so ``jobs=N`` is
+  **bit-identical** to the serial path.  Each chunk receives its own policy
+  instances via :meth:`~repro.simulation.schedulers.SchedulingPolicy.spawned`
+  with :func:`repro.parallel.spawn_seeds`-derived child seeds (a plain copy
+  for deterministic policies, an independently seeded stream for
+  ``RandomPolicy``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.compiled import compile_task
+from ..core.task import DagTask
+from ..parallel import parallel_map, spawn_seeds
+from .engine import _as_platform, simulate
+from .platform import Platform
+from .schedulers import BreadthFirstPolicy, SchedulingPolicy
+
+__all__ = ["simulate_many"]
+
+#: Tasks per dispatched chunk.  Fixed (never derived from the worker count)
+#: so that chunk boundaries -- and therefore the spawned policy streams --
+#: are identical for any ``jobs``.
+DEFAULT_CHUNK_SIZE = 16
+
+
+def _simulate_chunk(args: tuple) -> np.ndarray | list:
+    """Worker: simulate one task chunk over the full platform x policy grid."""
+    entries, platforms, policies, offload_enabled, makespans_only = args
+    if makespans_only:
+        from .dense import simulate_makespan_dense
+
+        out = np.empty(
+            (len(entries), len(platforms), len(policies)), dtype=np.float64
+        )
+        for t, (task, compiled) in enumerate(entries):
+            for p, platform in enumerate(platforms):
+                for q, policy in enumerate(policies):
+                    out[t, p, q] = simulate_makespan_dense(
+                        task,
+                        platform,
+                        policy,
+                        offload_enabled,
+                        compiled=compiled,
+                    )
+        return out
+    return [
+        [
+            [
+                simulate(task, platform, policy, offload_enabled)
+                for policy in policies
+            ]
+            for platform in platforms
+        ]
+        for task, _ in entries
+    ]
+
+
+def simulate_many(
+    tasks: Sequence[DagTask],
+    platforms: Union[Platform, int, Sequence[Union[Platform, int]]],
+    policies: Union[SchedulingPolicy, Sequence[SchedulingPolicy], None] = None,
+    *,
+    offload_enabled: bool = True,
+    makespans_only: bool = True,
+    jobs: Optional[int] = None,
+    root_seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+):
+    """Simulate every task on every platform under every policy.
+
+    Parameters
+    ----------
+    tasks:
+        The DAG tasks to simulate.  Each is compiled once; the compiled view
+        is reused for every ``(platform, policy)`` cell and shipped with the
+        task to worker processes (the view is picklable).
+    platforms:
+        One platform -- or a sequence of platforms -- as :class:`Platform`
+        objects or integer host-core counts (one accelerator assumed).
+    policies:
+        One policy or a sequence; defaults to the GOMP-style
+        :class:`~repro.simulation.schedulers.BreadthFirstPolicy`.  Policies
+        are never used directly: every chunk simulates with its own
+        ``policy.spawned(child_seed)`` instances, the child seeds derived
+        from ``root_seed`` via :func:`repro.parallel.spawn_seeds` (one per
+        ``(chunk, policy)`` pair), so stochastic policies draw independent
+        per-chunk streams in any execution order.
+    offload_enabled:
+        Forwarded to the engine (``False`` models a homogeneous execution).
+    makespans_only:
+        ``True`` (default): return a ``float64`` array of shape
+        ``(len(tasks), len(platforms), len(policies))`` computed by the
+        trace-free dense path.  ``False``: return the analogous nested list
+        of :class:`~repro.simulation.trace.ExecutionTrace` objects from the
+        reference engine (useful for inspection; much slower).
+    jobs:
+        Worker-process count; ``None``/``0``/``1`` runs serially with
+        results bit-identical to any parallel run.
+    root_seed:
+        Root of the spawned per-chunk policy seeds.
+    chunk_size:
+        Tasks per chunk.  Part of the determinism contract: results depend
+        on it (chunk boundaries seed the spawned policies) but never on
+        ``jobs``.
+
+    Returns
+    -------
+    numpy.ndarray or list
+        Makespans (``makespans_only=True``) or traces, indexed
+        ``[task][platform][policy]``.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    task_list = list(tasks)
+    if isinstance(platforms, (Platform, int)):
+        platforms = [platforms]
+    platform_list = [_as_platform(platform) for platform in platforms]
+    if policies is None:
+        policies = [BreadthFirstPolicy()]
+    elif isinstance(policies, SchedulingPolicy):
+        policies = [policies]
+    policy_list = list(policies)
+    if not platform_list:
+        raise ValueError("simulate_many needs at least one platform")
+    if not policy_list:
+        raise ValueError("simulate_many needs at least one policy")
+
+    shape = (len(task_list), len(platform_list), len(policy_list))
+    if not task_list:
+        return np.empty(shape, dtype=np.float64) if makespans_only else []
+
+    # One compile per task; cached on the graph, shared across every cell
+    # (and pickled to the workers instead of being rebuilt there).  The
+    # trace mode runs the reference engine, which never touches the view.
+    if makespans_only:
+        entries = [(task, compile_task(task)) for task in task_list]
+    else:
+        entries = [(task, None) for task in task_list]
+    chunks = [
+        entries[start : start + chunk_size]
+        for start in range(0, len(entries), chunk_size)
+    ]
+    seeds = spawn_seeds(root_seed, len(chunks) * len(policy_list))
+    work = [
+        (
+            chunk,
+            platform_list,
+            [
+                policy.spawned(seeds[c * len(policy_list) + q])
+                for q, policy in enumerate(policy_list)
+            ],
+            offload_enabled,
+            makespans_only,
+        )
+        for c, chunk in enumerate(chunks)
+    ]
+    results = parallel_map(_simulate_chunk, work, jobs=jobs)
+    if makespans_only:
+        return np.concatenate(results, axis=0).reshape(shape)
+    return [row for chunk_result in results for row in chunk_result]

@@ -23,11 +23,22 @@ The returned :class:`~repro.simulation.trace.ExecutionTrace` contains one
 record per node and can be validated independently
 (:meth:`ExecutionTrace.validate`), which the test-suite uses to prove the
 simulator only ever produces legal schedules.
+
+This module is the *trace-producing reference implementation*: the dense
+fast path of :mod:`repro.simulation.dense` (used by :func:`simulate_makespan`
+and the batched :func:`~repro.simulation.batch.simulate_many`) must produce
+bit-identical makespans, so any semantic change here must be mirrored there.
+Successors of a completed node are propagated in node-creation order (the
+dense view's CSR order); historically this was a per-completion ``repr``
+sort, which cost a sort per event and tied tie-breaking to identifier
+spelling rather than to the order in which an OpenMP program would create
+the tasks.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Mapping, Optional, Union
 
 from ..core.exceptions import SimulationError
@@ -125,10 +136,17 @@ def simulate(
     platform = _as_platform(platform)
     policy = policy if policy is not None else BreadthFirstPolicy()
     graph = task.graph
-    graph.check_acyclic()
+    compiled = graph.compiled()  # raises CycleError on cyclic graphs
     policy.prepare(graph)
 
     assignment = _device_assignment(task, platform, offload_enabled, device_assignment)
+
+    # Successor lists in creation (dense CSR) order, resolved once per
+    # simulation instead of one repr sort per completed node.
+    successor_order = {
+        node: [compiled.nodes[s] for s in compiled.successors_of(i)]
+        for i, node in enumerate(compiled.nodes)
+    }
 
     in_degree = {node: graph.in_degree(node) for node in graph.nodes()}
     ready_time = {node: 0.0 for node in graph.nodes()}
@@ -136,6 +154,7 @@ def simulate(
 
     free_cores = list(reversed(platform.host_core_names()))
     accelerator_names = platform.accelerator_names()
+    accelerator_index = {name: i for i, name in enumerate(accelerator_names)}
     device_free = {index: True for index in range(platform.accelerators)}
 
     # Ready queues are heaps of (priority tuple, arrival index, node, ready time).
@@ -153,7 +172,7 @@ def simulate(
     def complete(node: NodeId, finish: float) -> list[tuple[NodeId, float]]:
         """Propagate a completion; return nodes that just became ready."""
         newly_ready: list[tuple[NodeId, float]] = []
-        for successor in sorted(graph.successors(node), key=repr):
+        for successor in successor_order[node]:
             ready_time[successor] = max(ready_time[successor], finish)
             in_degree[successor] -= 1
             if in_degree[successor] == 0:
@@ -163,9 +182,9 @@ def simulate(
     def enqueue(node: NodeId, at_time: float) -> None:
         """Add a ready node to the right queue, resolving instant nodes."""
         nonlocal arrival_counter, remaining
-        pending = [(node, at_time)]
+        pending = deque(((node, at_time),))
         while pending:
-            current, when = pending.pop(0)
+            current, when = pending.popleft()
             if graph.wcet(current) == 0:
                 executions.append(
                     NodeExecution(
@@ -263,7 +282,7 @@ def simulate(
             if kind == HOST:
                 free_cores.append(resource)
             else:
-                device_free[accelerator_names.index(resource)] = True
+                device_free[accelerator_index[resource]] = True
             for ready_node, when in complete(node, finish):
                 enqueue(ready_node, when)
 
@@ -283,7 +302,16 @@ def simulate_makespan(
     offload_enabled: bool = True,
     device_assignment: Optional[Mapping[NodeId, int]] = None,
 ) -> float:
-    """Shortcut returning only the makespan of :func:`simulate`."""
-    return simulate(
+    """Makespan of one simulated execution of ``task``.
+
+    Served by the trace-free dense fast path
+    (:func:`repro.simulation.dense.simulate_makespan_dense`), which is
+    bit-identical to ``simulate(...).makespan()`` but never constructs
+    :class:`~repro.simulation.trace.NodeExecution` objects; callers that
+    need the schedule itself use :func:`simulate`.
+    """
+    from .dense import simulate_makespan_dense
+
+    return simulate_makespan_dense(
         task, platform, policy, offload_enabled, device_assignment
-    ).makespan()
+    )

@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import abc
 import copy
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..core.graph import DirectedAcyclicGraph, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..core.compiled import CompiledTask
 
 __all__ = [
     "SchedulingPolicy",
@@ -35,19 +38,44 @@ __all__ = [
     "RandomPolicy",
     "FixedPriorityPolicy",
     "policy_by_name",
+    "policy_supports_dense",
 ]
 
 
 class SchedulingPolicy(abc.ABC):
     """Interface of a ready-queue ordering policy.
 
-    The simulator calls :meth:`prepare` once per simulation with the graph
-    being scheduled, then :meth:`priority` for every node when it becomes
-    ready.  Nodes with *smaller* priority tuples are started first.
+    The trace-producing simulator calls :meth:`prepare` once per simulation
+    with the graph being scheduled, then :meth:`priority` for every node when
+    it becomes ready.  Nodes with *smaller* priority tuples are started
+    first.
+
+    The dense fast path (:mod:`repro.simulation.dense`) uses the *dense
+    protocol* instead: :meth:`prepare_dense` once per simulation with the
+    :class:`~repro.core.compiled.CompiledTask` view, then
+    :meth:`dense_priority` with integer node indices.  The protocol is
+    opt-in: dense-native policies override both methods (vectorised
+    per-index keys, no ``NodeId`` hashing) and declare it via
+    :attr:`supports_dense`; every other policy -- including custom
+    subclasses that override only the object-keyed pair -- is adapted by
+    the dense engine internally (it calls :meth:`prepare` and routes
+    :meth:`priority` through the index->node table), so custom policies
+    keep working unmodified.  A dense override must return priority keys
+    numerically equal to :meth:`priority` -- the dense engine is required
+    to be bit-identical to the reference engine.
     """
 
     #: Human-readable policy name used in traces and experiment reports.
     name: str = "policy"
+
+    #: ``True`` when :meth:`prepare_dense`/:meth:`dense_priority` are native
+    #: (index-based) overrides; the dense engine then skips :meth:`prepare`.
+    #: Inherited by subclasses -- the dense engine therefore consults
+    #: :func:`policy_supports_dense`, which additionally rejects subclasses
+    #: whose object-keyed ``priority()``/``prepare()`` override is *newer*
+    #: than the inherited dense implementation (a stale dense pair would
+    #: silently ignore the override).
+    supports_dense: bool = False
 
     def prepare(self, graph: DirectedAcyclicGraph) -> None:
         """Pre-compute per-graph data (called once before the simulation)."""
@@ -68,6 +96,29 @@ class SchedulingPolicy(abc.ABC):
             Monotonically increasing counter of ready-queue insertions; using
             it as a final tie-breaker makes every policy deterministic.
         """
+
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        """Pre-compute per-index data for the dense engine.
+
+        Only called for dense-native policies (those passing
+        :func:`policy_supports_dense`); object-keyed policies never reach
+        this hook -- the dense engine adapts their
+        :meth:`prepare`/:meth:`priority` pair internally.  Overrides must be
+        paired with a :meth:`dense_priority` override.
+        """
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        """Sort key of the ready node with dense index ``index``.
+
+        Only called for dense-native policies; must return keys numerically
+        equal to :meth:`priority` for the same node.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} sets supports_dense but does not "
+            "implement the dense protocol"
+        )
 
     def spawned(self, seed: int) -> "SchedulingPolicy":
         """An independent instance of this policy for one parallel work chunk.
@@ -93,12 +144,21 @@ class BreadthFirstPolicy(SchedulingPolicy):
     """
 
     name = "breadth-first"
+    supports_dense = True
 
     def prepare(self, graph: DirectedAcyclicGraph) -> None:
         self._creation_order = {node: index for index, node in enumerate(graph.nodes())}
 
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (ready_time, self._creation_order.get(node, 0), arrival_index)
+
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        """Nothing to prepare: dense indices *are* creation ranks."""
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        return (ready_time, index, arrival_index)
 
 
 class DepthFirstPolicy(SchedulingPolicy):
@@ -110,8 +170,17 @@ class DepthFirstPolicy(SchedulingPolicy):
     """
 
     name = "depth-first"
+    supports_dense = True
 
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
+        return (-arrival_index,)
+
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        """Stateless: the key only depends on the arrival index."""
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
         return (-arrival_index,)
 
 
@@ -124,6 +193,7 @@ class CriticalPathFirstPolicy(SchedulingPolicy):
     """
 
     name = "critical-path-first"
+    supports_dense = True
 
     def prepare(self, graph: DirectedAcyclicGraph) -> None:
         self._bottom_level = graph.longest_tail_lengths()
@@ -131,11 +201,36 @@ class CriticalPathFirstPolicy(SchedulingPolicy):
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (-self._bottom_level.get(node, 0.0), arrival_index)
 
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        # Memoised on the (immutable) compiled view: batch drivers prepare
+        # the same task once per (platform, policy) grid cell.
+        if getattr(self, "_dense_for", None) is compiled:
+            return
+        # Same recurrence as DirectedAcyclicGraph.longest_tail_lengths(),
+        # evaluated over the compiled arrays (numerically identical values).
+        wcet = compiled.wcet_list
+        succ_ptr, succ_idx = compiled.succ_ptr, compiled.succ_idx
+        tail = [0.0] * len(wcet)
+        for i in reversed(compiled.topo):
+            longest = 0.0
+            for s in succ_idx[succ_ptr[i] : succ_ptr[i + 1]]:
+                if tail[s] > longest:
+                    longest = tail[s]
+            tail[i] = longest + wcet[i]
+        self._dense_tail = tail
+        self._dense_for = compiled
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        return (-self._dense_tail[index], arrival_index)
+
 
 class ShortestFirstPolicy(SchedulingPolicy):
     """Smallest WCET first (SJF-like, tends to increase the makespan)."""
 
     name = "shortest-first"
+    supports_dense = True
 
     def prepare(self, graph: DirectedAcyclicGraph) -> None:
         self._wcet = graph.wcets()
@@ -143,17 +238,34 @@ class ShortestFirstPolicy(SchedulingPolicy):
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (self._wcet.get(node, 0.0), arrival_index)
 
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        self._dense_wcet = compiled.wcet_list
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        return (self._dense_wcet[index], arrival_index)
+
 
 class LongestFirstPolicy(SchedulingPolicy):
     """Largest WCET first (LPT-like)."""
 
     name = "longest-first"
+    supports_dense = True
 
     def prepare(self, graph: DirectedAcyclicGraph) -> None:
         self._wcet = graph.wcets()
 
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (-self._wcet.get(node, 0.0), arrival_index)
+
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        self._dense_wcet = compiled.wcet_list
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        return (-self._dense_wcet[index], arrival_index)
 
 
 class RandomPolicy(SchedulingPolicy):
@@ -165,6 +277,7 @@ class RandomPolicy(SchedulingPolicy):
     """
 
     name = "random"
+    supports_dense = True
 
     def __init__(self, rng: np.random.Generator | int | None = None) -> None:
         self._rng = np.random.default_rng(rng)
@@ -176,6 +289,17 @@ class RandomPolicy(SchedulingPolicy):
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (float(self._rng.random()), arrival_index)
 
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        """Stateless per graph; the RNG stream carries across simulations."""
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        # One draw per ready-queue insertion, exactly like priority(): the
+        # dense engine enqueues in the same order as the reference engine,
+        # so both consume the identical stream.
+        return (float(self._rng.random()), arrival_index)
+
 
 class FixedPriorityPolicy(SchedulingPolicy):
     """Explicit per-node priorities (smaller value = higher priority).
@@ -185,12 +309,61 @@ class FixedPriorityPolicy(SchedulingPolicy):
     """
 
     name = "fixed-priority"
+    supports_dense = True
 
-    def __init__(self, priorities: dict[NodeId, float]) -> None:
-        self._priorities = dict(priorities)
+    def __init__(self, priorities: Optional[dict[NodeId, float]] = None) -> None:
+        self._priorities = dict(priorities) if priorities is not None else {}
 
     def priority(self, node: NodeId, ready_time: float, arrival_index: int) -> tuple:
         return (self._priorities.get(node, float("inf")), arrival_index)
+
+    def prepare_dense(self, compiled: "CompiledTask") -> None:
+        if getattr(self, "_dense_for", None) is compiled:
+            return
+        missing = float("inf")
+        get = self._priorities.get
+        self._dense_priorities = [get(node, missing) for node in compiled.nodes]
+        self._dense_for = compiled
+
+    def dense_priority(
+        self, index: int, ready_time: float, arrival_index: int
+    ) -> tuple:
+        return (self._dense_priorities[index], arrival_index)
+
+
+def _providing_class(cls: type, name: str) -> type:
+    """The class in ``cls``'s MRO whose ``__dict__`` defines ``name``."""
+    for klass in cls.__mro__:
+        if name in klass.__dict__:
+            return klass
+    return SchedulingPolicy
+
+
+def policy_supports_dense(policy: SchedulingPolicy) -> bool:
+    """``True`` when the dense engine may use the policy's dense protocol.
+
+    Requires :attr:`SchedulingPolicy.supports_dense` *and* that neither
+    object-keyed method is overridden below the class providing its dense
+    counterpart: a subclass of a built-in policy that overrides only
+    ``priority()`` (or only ``prepare()``) would otherwise inherit a stale
+    dense implementation and the dense engine would silently ignore the
+    override.  Such policies fall back to the object-keyed path, which the
+    dense engine adapts internally -- bit-identity is preserved either way.
+    """
+    if not policy.supports_dense:
+        return False
+    cls = type(policy)
+    for object_name, dense_name in (
+        ("prepare", "prepare_dense"),
+        ("priority", "dense_priority"),
+    ):
+        object_provider = _providing_class(cls, object_name)
+        dense_provider = _providing_class(cls, dense_name)
+        if dense_provider is not object_provider and issubclass(
+            object_provider, dense_provider
+        ):
+            return False
+    return True
 
 
 _POLICIES: dict[str, type[SchedulingPolicy]] = {
@@ -200,6 +373,7 @@ _POLICIES: dict[str, type[SchedulingPolicy]] = {
     ShortestFirstPolicy.name: ShortestFirstPolicy,
     LongestFirstPolicy.name: LongestFirstPolicy,
     RandomPolicy.name: RandomPolicy,
+    FixedPriorityPolicy.name: FixedPriorityPolicy,
 }
 
 
@@ -207,7 +381,11 @@ def policy_by_name(name: str, rng: Optional[int] = None) -> SchedulingPolicy:
     """Instantiate a policy from its short name.
 
     Valid names: ``breadth-first``, ``depth-first``, ``critical-path-first``,
-    ``shortest-first``, ``longest-first``, ``random``.
+    ``shortest-first``, ``longest-first``, ``random``, ``fixed-priority``.
+    A ``fixed-priority`` policy built this way starts with an empty priority
+    table (every node ties at ``+inf`` and the arrival index decides, i.e.
+    ready-queue FIFO); the scheduler-ablation CLI uses it as a baseline, and
+    programmatic callers pass an explicit table to the constructor instead.
     """
     try:
         cls = _POLICIES[name]

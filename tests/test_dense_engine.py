@@ -1,0 +1,354 @@
+"""Bit-identity of the dense simulation core against the trace engine.
+
+The dense fast path (:mod:`repro.simulation.dense`) and the batched
+:func:`~repro.simulation.batch.simulate_many` must reproduce the reference
+trace engine's makespans *exactly* -- same floats, not approximately -- for
+every policy, platform shape, device assignment and offload mode.  These
+properties drive both implementations over random DAGs from the shared
+strategies and compare with ``==``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiled import CompiledTask, compile_task
+from repro.core.examples import figure1_task, figure3_task
+from repro.core.graph import DirectedAcyclicGraph
+from repro.core.task import DagTask
+from repro.core.transformation import transform
+from repro.simulation.batch import simulate_many
+from repro.simulation.dense import simulate_makespan_dense
+from repro.simulation.engine import simulate, simulate_makespan
+from repro.simulation.platform import Platform
+from repro.simulation.schedulers import (
+    BreadthFirstPolicy,
+    CriticalPathFirstPolicy,
+    FixedPriorityPolicy,
+    LongestFirstPolicy,
+    RandomPolicy,
+    ShortestFirstPolicy,
+    policy_by_name,
+    policy_supports_dense,
+)
+
+from strategies import make_random_heterogeneous_task
+
+_SEEDS = st.integers(min_value=0, max_value=4_000)
+_FRACTIONS = st.floats(min_value=0.01, max_value=0.6, allow_nan=False)
+_CORES = st.sampled_from([1, 2, 3, 4])
+
+#: Every registered policy, as factories so that each engine run gets a
+#: fresh instance (RandomPolicy must replay the same stream on both paths).
+_POLICY_NAMES = (
+    "breadth-first",
+    "depth-first",
+    "critical-path-first",
+    "shortest-first",
+    "longest-first",
+    "random",
+    "fixed-priority",
+)
+
+
+def _policy_factories(task: DagTask, seed: int):
+    for name in _POLICY_NAMES:
+        yield name, lambda name=name: policy_by_name(name, rng=seed)
+    # fixed-priority via the registry has an empty table; also exercise a
+    # populated one (the worst-case search's usage pattern).
+    yield "fixed-priority(populated)", lambda: FixedPriorityPolicy(
+        {node: (seed + rank) % 5 for rank, node in enumerate(task.graph.nodes())}
+    )
+
+
+def _assert_identical(task, platform, factory, offload_enabled=True, assignment=None):
+    reference = simulate(
+        task,
+        platform,
+        factory(),
+        offload_enabled=offload_enabled,
+        device_assignment=assignment,
+    ).makespan()
+    dense = simulate_makespan_dense(
+        task,
+        platform,
+        factory(),
+        offload_enabled=offload_enabled,
+        device_assignment=assignment,
+    )
+    assert dense == reference
+
+
+class TestDenseBitIdentity:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_all_policies_match_on_heterogeneous_tasks(self, seed, fraction, cores):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_all_policies_match_on_transformed_tasks(self, seed, fraction, cores):
+        # The transformed task carries the zero-WCET v_sync, exercising the
+        # instant-node cascade on both paths.
+        task = transform(make_random_heterogeneous_task(seed, fraction, n_max=25)).task
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=_SEEDS,
+        fraction=_FRACTIONS,
+        cores=_CORES,
+        accelerators=st.sampled_from([1, 2, 3, 4]),
+    )
+    def test_multi_offload_assignments_match(self, seed, fraction, cores, accelerators):
+        # Several offloaded regions spread over several devices (the
+        # extensions' usage pattern): an explicit node -> device mapping.
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        nodes = task.graph.nodes()
+        assignment = {
+            node: rank % accelerators for rank, node in enumerate(nodes[::3])
+        }
+        platform = Platform(cores, accelerators)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory, assignment=assignment)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_offload_disabled_matches(self, seed, fraction, cores):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory, offload_enabled=False)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_makespan_shortcut_equals_trace_makespan(self, seed, fraction, cores):
+        # simulate_makespan is served by the dense path; the public contract
+        # is equality with the trace engine.
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        assert simulate_makespan(task, cores) == simulate(task, cores).makespan()
+
+    def test_instant_only_and_single_node_tasks(self):
+        instant = DagTask.from_wcets({"a": 0, "b": 0}, [("a", "b")])
+        assert simulate_makespan_dense(instant, 2) == simulate(instant, 2).makespan()
+        assert simulate_makespan_dense(instant, 2) == 0.0
+        single = DagTask.from_wcets({"a": 3}, [])
+        assert simulate_makespan_dense(single, 1) == 3.0
+
+    def test_empty_graph(self):
+        empty = DagTask(graph=DirectedAcyclicGraph())
+        assert simulate_makespan_dense(empty, 2) == 0.0
+
+    def test_cyclic_graph_rejected(self):
+        task = DagTask.from_wcets({"a": 1, "b": 1}, [("a", "b")])
+        task.graph.add_edge("b", "a")
+        with pytest.raises(Exception):
+            simulate_makespan_dense(task, 2)
+
+    def test_worked_examples(self):
+        assert simulate_makespan_dense(figure1_task(), 2) == 12
+        transformed = transform(figure1_task()).task
+        assert simulate_makespan_dense(transformed, 2) == 10
+        task = figure3_task()
+        assert simulate_makespan_dense(task, 64) == task.critical_path_length
+
+
+class TestSimulateMany:
+    def _tasks(self, count=5):
+        tasks = [make_random_heterogeneous_task(seed, 0.2, n_max=20) for seed in range(count)]
+        return tasks + [transform(task).task for task in tasks]
+
+    def test_matches_reference_engine_per_cell(self):
+        tasks = self._tasks()
+        platforms = [Platform(2, 1), Platform(4, 1)]
+        makespans = simulate_many(tasks, platforms, BreadthFirstPolicy())
+        assert makespans.shape == (len(tasks), 2, 1)
+        for t, task in enumerate(tasks):
+            for p, platform in enumerate(platforms):
+                reference = simulate(task, platform, BreadthFirstPolicy()).makespan()
+                assert makespans[t, p, 0] == reference
+
+    def test_serial_vs_jobs_bit_identical(self):
+        tasks = self._tasks()
+        serial = simulate_many(tasks, [2, 8], RandomPolicy(3), root_seed=11, chunk_size=3)
+        parallel = simulate_many(tasks, [2, 8], RandomPolicy(3), root_seed=11, chunk_size=3, jobs=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_multiple_policies_and_scalar_platform(self):
+        tasks = self._tasks(count=3)
+        policies = [BreadthFirstPolicy(), policy_by_name("critical-path-first")]
+        makespans = simulate_many(tasks, 2, policies)
+        assert makespans.shape == (len(tasks), 1, 2)
+        for t, task in enumerate(tasks):
+            for q, name in enumerate(("breadth-first", "critical-path-first")):
+                assert makespans[t, 0, q] == simulate(
+                    task, 2, policy_by_name(name)
+                ).makespan()
+
+    def test_traces_mode_matches_makespans(self):
+        tasks = self._tasks(count=3)
+        makespans = simulate_many(tasks, [2], BreadthFirstPolicy())
+        traces = simulate_many(tasks, [2], BreadthFirstPolicy(), makespans_only=False)
+        for t in range(len(tasks)):
+            trace = traces[t][0][0]
+            trace.validate()
+            assert trace.makespan() == makespans[t, 0, 0]
+
+    def test_offload_disabled_forwarded(self):
+        tasks = self._tasks(count=2)
+        makespans = simulate_many(tasks, [2], offload_enabled=False)
+        for t, task in enumerate(tasks):
+            assert makespans[t, 0, 0] == simulate(
+                task, 2, offload_enabled=False
+            ).makespan()
+
+    def test_empty_tasks_and_bad_arguments(self):
+        assert simulate_many([], [2]).shape == (0, 1, 1)
+        with pytest.raises(ValueError):
+            simulate_many(self._tasks(count=1), [2], chunk_size=0)
+        with pytest.raises(ValueError):
+            simulate_many(self._tasks(count=1), [])
+        with pytest.raises(ValueError):
+            simulate_many(self._tasks(count=1), [2], [])
+
+
+class TestCompiledTask:
+    def test_view_contents(self):
+        task = figure1_task()
+        compiled = task.compiled()
+        assert compiled.nodes == task.graph.nodes()
+        assert compiled.node_count == task.node_count
+        assert compiled.wcet_list == [task.graph.wcet(node) for node in compiled.nodes]
+        assert list(compiled.instant) == [w == 0 for w in compiled.wcet_list]
+        assert compiled.in_degree == [
+            task.graph.in_degree(node) for node in compiled.nodes
+        ]
+        for i, node in enumerate(compiled.nodes):
+            successors = {compiled.nodes[s] for s in compiled.successors_of(i)}
+            assert successors == task.graph.successors(node)
+            predecessors = {compiled.nodes[p] for p in compiled.predecessors_of(i)}
+            assert predecessors == task.graph.predecessors(node)
+        assert [compiled.nodes[i] for i in compiled.topo] == task.graph.topological_order()
+
+    def test_cached_on_generation_stamp(self):
+        task = figure1_task()
+        first = task.compiled()
+        assert task.compiled() is first  # unmutated: cache hit
+        task.graph.set_wcet("v1", 9)
+        second = task.compiled()
+        assert second is not first  # weights changed: recompiled
+        assert second.wcet_list[second.index["v1"]] == 9.0
+        # The structural arrays survive the re-weighting (kernel shared).
+        assert second.succ_idx is first.succ_idx
+
+    def test_pickle_round_trip(self):
+        compiled = figure1_task().compiled()
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert isinstance(clone, CompiledTask)
+        assert clone.nodes == compiled.nodes
+        assert clone.index == compiled.index
+        assert clone.wcet_list == compiled.wcet_list
+        assert clone.topo == compiled.topo
+        assert clone.in_degree == compiled.in_degree
+        assert clone.generation == compiled.generation
+
+    def test_compile_task_accepts_task_or_graph(self):
+        task = figure1_task()
+        assert compile_task(task) is compile_task(task.graph)
+
+
+class TestDenseProtocolGuards:
+    def test_subclass_overriding_only_priority_is_honoured(self):
+        # A subclass of a dense-native policy that overrides only the
+        # object-keyed priority() must not be served the parent's stale
+        # dense implementation: both public entry points must honour the
+        # override and agree.
+        class ReversedShortestFirst(ShortestFirstPolicy):
+            def priority(self, node, ready_time, arrival_index):
+                return (-self._wcet.get(node, 0.0), arrival_index)
+
+        assert not policy_supports_dense(ReversedShortestFirst())
+        task = make_random_heterogeneous_task(7, 0.3, n_max=20)
+        via_trace = simulate(task, 2, ReversedShortestFirst()).makespan()
+        via_dense = simulate_makespan_dense(task, 2, ReversedShortestFirst())
+        assert via_dense == via_trace
+        # The override genuinely behaves like longest-first.
+        assert via_dense == simulate(task, 2, LongestFirstPolicy()).makespan()
+
+    def test_subclass_overriding_only_prepare_is_honoured(self):
+        class DoubledTails(CriticalPathFirstPolicy):
+            def prepare(self, graph):
+                super().prepare(graph)
+                self._bottom_level = {
+                    node: 2.0 * tail for node, tail in self._bottom_level.items()
+                }
+
+        assert not policy_supports_dense(DoubledTails())
+        task = make_random_heterogeneous_task(11, 0.2, n_max=20)
+        assert simulate_makespan_dense(task, 2, DoubledTails()) == (
+            simulate(task, 2, DoubledTails()).makespan()
+        )
+
+    def test_subclass_overriding_both_pairs_stays_dense(self):
+        class Both(ShortestFirstPolicy):
+            def priority(self, node, ready_time, arrival_index):
+                return (-self._wcet.get(node, 0.0), arrival_index)
+
+            def dense_priority(self, index, ready_time, arrival_index):
+                return (-self._dense_wcet[index], arrival_index)
+
+        assert policy_supports_dense(Both())
+        task = make_random_heterogeneous_task(13, 0.2, n_max=20)
+        assert simulate_makespan_dense(task, 2, Both()) == (
+            simulate(task, 2, Both()).makespan()
+        )
+
+    def test_builtins_are_dense_native_and_custom_policies_are_not(self):
+        for name in _POLICY_NAMES:
+            assert policy_supports_dense(policy_by_name(name)), name
+
+        class Custom(BreadthFirstPolicy.__mro__[1]):  # SchedulingPolicy
+            def priority(self, node, ready_time, arrival_index):
+                return (arrival_index,)
+
+        assert not policy_supports_dense(Custom())
+        task = make_random_heterogeneous_task(17, 0.2, n_max=20)
+        assert simulate_makespan_dense(task, 2, Custom()) == (
+            simulate(task, 2, Custom()).makespan()
+        )
+
+    def test_prepare_dense_is_memoised_per_compiled_view(self):
+        task = make_random_heterogeneous_task(19, 0.2, n_max=20)
+        compiled = task.compiled()
+        policy = CriticalPathFirstPolicy()
+        policy.prepare_dense(compiled)
+        first = policy._dense_tail
+        policy.prepare_dense(compiled)
+        assert policy._dense_tail is first  # same view: no recomputation
+        task.graph.set_wcet(task.offloaded_node, task.offloaded_wcet + 1)
+        recompiled = task.compiled()
+        policy.prepare_dense(recompiled)
+        assert policy._dense_tail is not first  # new view: recomputed
+
+
+class TestFixedPriorityRegistration:
+    def test_policy_by_name_reaches_fixed_priority(self):
+        policy = policy_by_name("fixed-priority")
+        assert isinstance(policy, FixedPriorityPolicy)
+        assert policy.name == "fixed-priority"
+        # Empty table: every node ties at +inf, arrival order decides; the
+        # schedule is still legal and simulatable on both paths.
+        task = figure1_task()
+        assert simulate_makespan_dense(task, 2, policy_by_name("fixed-priority")) == (
+            simulate(task, 2, policy_by_name("fixed-priority")).makespan()
+        )
