@@ -20,7 +20,16 @@ Aggregated results are written to ``BENCH_PR3.json`` at the repository
 root, extending the performance trajectory of ``BENCH_PR1.json`` (cached
 graph kernel) and ``BENCH_PR2.json`` (exact-makespan oracles).
 
-Run with:  python benchmarks/bench_simulation.py  [--smoke]
+``--vectorized`` benchmarks the PR-4 lockstep kernel instead: the full
+quick-scale figure 6 ensemble (all six fractions, original + transformed
+variants) simulated on the figure's four host sizes (``m in {2, 4, 8,
+16}``), comparing the batched dense path (``simulate_many(...,
+engine="dense")``, the PR-3 fast path) against the vectorised default.
+Results go to ``BENCH_PR4.json``; with ``--smoke`` the run enforces the
+``VECTORIZED_SPEEDUP_TARGET`` acceptance (>= 2x over the dense batched
+path, makespans bit-identical) for CI.
+
+Run with:  python benchmarks/bench_simulation.py  [--vectorized] [--smoke]
 """
 
 from __future__ import annotations
@@ -49,10 +58,15 @@ from repro.simulation.platform import Platform  # noqa: E402
 from repro.simulation.schedulers import BreadthFirstPolicy  # noqa: E402
 
 OUTPUT = _REPO_ROOT / "BENCH_PR3.json"
+OUTPUT_VECTORIZED = _REPO_ROOT / "BENCH_PR4.json"
 
 #: Acceptance threshold: the batched dense path must be at least this many
 #: times faster than the reference trace engine on the Figure 6 workload.
 SPEEDUP_TARGET = 3.0
+
+#: Acceptance threshold of ``--vectorized``: the lockstep kernel must be at
+#: least this many times faster than the batched dense path.
+VECTORIZED_SPEEDUP_TARGET = 2.0
 
 
 #: Timed repetitions per path; the best (minimum) time is reported, which
@@ -78,14 +92,13 @@ def figure6_workload(smoke: bool) -> tuple[list, list[Platform]]:
     return tasks, platforms
 
 
-def _best_of(run) -> tuple[float, list]:
-    best_s, makespans = float("inf"), None
-    for _ in range(REPEATS):
+def _best_of(run, repeats: int = REPEATS) -> tuple[float, object]:
+    best_s, result = float("inf"), None
+    for _ in range(repeats):
         t0 = time.perf_counter()
         result = run()
         best_s = min(best_s, time.perf_counter() - t0)
-        makespans = result
-    return best_s, makespans
+    return best_s, result
 
 
 def bench_reference(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
@@ -111,10 +124,107 @@ def bench_dense(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
 
 
 def bench_batched(tasks: list, platforms: list[Platform]) -> tuple[float, list]:
+    # engine="dense" pins the PR-3 fast path: this benchmark's comparison
+    # is reference engine vs dense paths, not the PR-4 lockstep kernel.
     elapsed, grid = _best_of(
-        lambda: simulate_many(tasks, platforms, BreadthFirstPolicy())
+        lambda: simulate_many(tasks, platforms, BreadthFirstPolicy(), engine="dense")
     )
     return elapsed, [float(value) for value in grid.reshape(-1)]
+
+
+def vectorized_workload() -> tuple[list, list[Platform]]:
+    """The full quick-scale figure 6 ensemble on the figure's host sizes.
+
+    All six quick-scale fractions with both variants (the ensemble the
+    rewired figure 6 driver actually simulates), on the four host sizes the
+    figure plots -- 576 cells, the batch regime the lockstep kernel is
+    built for.
+    """
+    scale = quick_scale()
+    points = chunked_offload_fraction_sweep(
+        fractions=scale.fractions,
+        dags_per_point=scale.dags_per_point,
+        generator_config=LARGE_TASKS_FIG6,
+        offload_config=OffloadConfig(),
+        root_seed=scale.seed,
+    )
+    tasks = [task for point in points for task in point.tasks]
+    tasks = tasks + [transform(task).task for task in tasks]
+    platforms = [Platform(cores, 1) for cores in (2, 4, 8, 16)]
+    return tasks, platforms
+
+
+def main_vectorized(smoke: bool) -> dict:
+    tasks, platforms = vectorized_workload()
+    simulations = len(tasks) * len(platforms)
+    node_counts = [task.node_count for task in tasks]
+
+    # Warm both paths once (compiled-view caches, allocator) before timing;
+    # best-of-5 keeps the CI gate robust against scheduler noise.
+    simulate_many(tasks, platforms, BreadthFirstPolicy())
+    dense_s, dense_grid = _best_of(
+        lambda: simulate_many(
+            tasks, platforms, BreadthFirstPolicy(), engine="dense"
+        ),
+        repeats=5,
+    )
+    vectorized_s, vectorized_grid = _best_of(
+        lambda: simulate_many(tasks, platforms, BreadthFirstPolicy()),
+        repeats=5,
+    )
+    identical = np.array_equal(dense_grid, vectorized_grid)
+    speedup = dense_s / max(vectorized_s, 1e-9)
+
+    document = {
+        "benchmark": "vectorized_simulation",
+        "pr": 4,
+        "description": (
+            "Vectorised lockstep kernel (simulate_many default; "
+            "simulation/vectorized.py) vs the PR-3 dense batched path on "
+            "the quick-scale figure 6 ensemble over the figure's four host "
+            "sizes (see docs/performance.md)."
+        ),
+        "smoke": smoke,
+        "simulations": simulations,
+        "tasks": len(tasks),
+        "platforms": [platform.host_cores for platform in platforms],
+        "mean_nodes": float(np.mean(node_counts)),
+        "dense_batched_s": dense_s,
+        "vectorized_batched_s": vectorized_s,
+        "vectorized_speedup": speedup,
+        "makespans_identical": bool(identical),
+        "acceptance": {
+            "speedup": speedup,
+            "speedup_target": VECTORIZED_SPEEDUP_TARGET,
+            "speedup_met": speedup >= VECTORIZED_SPEEDUP_TARGET,
+            "makespans_identical": bool(identical),
+        },
+    }
+
+    print(
+        f"figure 6 workload: {simulations} simulations "
+        f"({len(tasks)} task variants x m in "
+        f"{[p.host_cores for p in platforms]}, "
+        f"mean n = {document['mean_nodes']:.0f})"
+    )
+    print(
+        f"dense batched: {dense_s * 1000:.1f} ms | vectorized batched: "
+        f"{vectorized_s * 1000:.1f} ms (x{speedup:.2f})"
+    )
+    if not smoke:
+        OUTPUT_VECTORIZED.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"results written to {OUTPUT_VECTORIZED}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: vectorized x{accepted['speedup']:.2f} "
+        f"(target x{accepted['speedup_target']:.1f}) -> "
+        f"{'PASS' if accepted['speedup_met'] else 'FAIL'}; "
+        f"makespans identical -> "
+        f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
+    )
+    return document
 
 
 def main() -> dict:
@@ -185,7 +295,10 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    result = main()
+    if "--vectorized" in sys.argv:
+        result = main_vectorized("--smoke" in sys.argv)
+    else:
+        result = main()
     accepted = result["acceptance"]
     if not (accepted["speedup_met"] and accepted["makespans_identical"]):
         sys.exit(1)

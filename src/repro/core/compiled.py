@@ -65,6 +65,7 @@ class CompiledTask:
         "instant",
         "in_degree",
         "generation",
+        "_views",
     )
 
     def __init__(
@@ -93,6 +94,7 @@ class CompiledTask:
             pred_ptr[i + 1] - pred_ptr[i] for i in range(len(nodes))
         ]
         self.generation = generation
+        self._views: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Queries
@@ -112,6 +114,37 @@ class CompiledTask:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Batch (array) views
+    # ------------------------------------------------------------------
+    # The vectorised lockstep kernel (:mod:`repro.simulation.vectorized`)
+    # stacks many simulations of compiled tasks into flat numpy state; it
+    # needs the CSR and in-degree data as integer arrays rather than Python
+    # lists.  The arrays are materialised once per view and cached (the view
+    # is immutable); like the lists they must never be mutated.
+
+    def _view(self, name: str, source: list[int]) -> np.ndarray:
+        array = self._views.get(name)
+        if array is None:
+            array = np.asarray(source, dtype=np.int64)
+            self._views[name] = array
+        return array
+
+    @property
+    def succ_ptr_array(self) -> np.ndarray:
+        """``succ_ptr`` as an ``int64`` array (cached)."""
+        return self._view("succ_ptr", self.succ_ptr)
+
+    @property
+    def succ_idx_array(self) -> np.ndarray:
+        """``succ_idx`` as an ``int64`` array (cached)."""
+        return self._view("succ_idx", self.succ_idx)
+
+    @property
+    def in_degree_array(self) -> np.ndarray:
+        """``in_degree`` as an ``int64`` array (cached)."""
+        return self._view("in_degree", self.in_degree)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -53,10 +53,11 @@ def run_scheduler_ablation(
     """Figure 6 repeated under several work-conserving scheduling policies.
 
     Each policy re-runs the rewired Figure 6 driver, so the sweep inherits
-    its chunked parallel generation and the batched dense simulator
+    its chunked parallel generation and the batched simulator
     (:func:`repro.simulation.batch.simulate_many` -- one compile per task
-    variant serves every sweep cell); ``jobs`` is forwarded with
-    bit-identical results.
+    variant serves every sweep cell, and every registered policy family
+    runs through the vectorised lockstep kernel); ``jobs`` is forwarded
+    with bit-identical results.
 
     Returns
     -------

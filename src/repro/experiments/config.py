@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["ExperimentScale", "quick_scale", "paper_scale"]
+__all__ = [
+    "ExperimentScale",
+    "quick_scale",
+    "paper_scale",
+    "figure7_paper_scale",
+]
 
 
 def _default_fractions() -> list[float]:
@@ -89,6 +94,25 @@ def paper_scale() -> ExperimentScale:
         ilp_time_limit=None,
         seed=2018,
     )
+
+
+def figure7_paper_scale() -> ExperimentScale:
+    """Figure 7 at the paper's WCET range (``ilp_wcet_max = 100``).
+
+    The WCET range is the property that matters scientifically (the paper
+    used WCETs in ``[1, 100]`` with a 12-hour CPLEX budget per instance;
+    the reproduction's quick scale shrinks it to keep the time-indexed
+    models small).  Two documented substitutions keep the recorded run
+    bounded on one machine: 25 DAGs per sweep point instead of 100 (the
+    quick-scale golden already pins the full pipeline bit-exactly; the
+    paper-scale run is about the WCET range), and a 60 s per-instance
+    oracle cap standing in for the 12-hour budget -- the PR-2 oracles
+    solve the overwhelming majority of instances optimally well within
+    it, and ``run_figure7`` records every trip
+    (``non_optimal_oracle_results`` in the result metadata; a tripped
+    HiGHS solve degrades to the verified warm-start incumbent).
+    """
+    return replace(paper_scale(), dags_per_point=25, ilp_time_limit=60.0)
 
 
 def quick_scale() -> ExperimentScale:

@@ -41,6 +41,11 @@ from .formulation import TimeIndexedFormulation, _integer_wcets, build_formulati
 
 __all__ = ["IlpSolution", "solve_formulation", "solve_minimum_makespan"]
 
+
+class _TimeLimitNoSolution(SolverError):
+    """HiGHS hit its wall-clock/iteration limit before finding any solution."""
+
+
 #: State cap of the branch-and-bound probe that improves the warm-start
 #: horizon; small enough to be cheap next to any non-trivial MILP solve.
 _PROBE_STATE_LIMIT = 5_000
@@ -123,7 +128,14 @@ def solve_formulation(
         options=options,
     )
     if result.x is None:
-        raise SolverError(
+        # scipy.optimize.milp status 1 = iteration or time limit reached;
+        # tag that case so callers can distinguish "ran out of budget before
+        # any incumbent" (recoverable via a warm-start fallback) from
+        # genuine infeasibility or numerical failure (which must stay loud).
+        error_type = (
+            _TimeLimitNoSolution if result.status == 1 else SolverError
+        )
+        raise error_type(
             f"HiGHS did not return a solution (status={result.status}, "
             f"message={result.message!r})"
         )
@@ -199,7 +211,7 @@ def solve_minimum_makespan(
             warm_started=True,
         )
 
-    incumbent = int(round(upper))
+    best_makespan, best_starts = upper, upper_starts
     if horizon is None:
         # A truncated branch-and-bound probe often finds a better incumbent;
         # its schedule is feasible, so its makespan is a valid horizon.  The
@@ -216,7 +228,9 @@ def solve_minimum_makespan(
                 state_limit=_PROBE_STATE_LIMIT,
                 _seed_bounds=(upper, upper_starts, lower),
             )
-            incumbent = min(incumbent, int(round(probe.makespan)))
+            if probe.makespan < best_makespan:
+                best_makespan, best_starts = probe.makespan, probe.start_times
+    incumbent = int(round(best_makespan))
 
     formulation = build_formulation(
         task,
@@ -225,6 +239,37 @@ def solve_minimum_makespan(
         horizon if horizon is not None else incumbent,
         tighten_windows=True,
     )
-    solution = solve_formulation(formulation, time_limit=time_limit, mip_gap=mip_gap)
+    try:
+        solution = solve_formulation(formulation, time_limit=time_limit, mip_gap=mip_gap)
+    except _TimeLimitNoSolution:
+        if time_limit is None or horizon is not None:
+            # Without a limit the failure is genuine; with a caller-supplied
+            # horizon the model can be legitimately infeasible (the horizon
+            # may undercut the optimum), so the error must surface.  (Other
+            # SolverErrors -- infeasibility, numerical failure -- are never
+            # caught here: they must stay loud.)
+            raise
+        # The model was built on our own incumbent horizon, which the
+        # warm-start schedule satisfies -- the formulation is feasible by
+        # construction and the only way HiGHS comes back empty-handed is a
+        # tripped wall-clock limit before it found any solution (hard
+        # instances at large WCET horizons).  Degrade to the warm-start
+        # schedule instead of failing the whole batch -- mirroring how a
+        # tripped limit with an incumbent already returns a sub-optimal
+        # result.  Callers see ``optimal=False`` and the schedule still
+        # passes :func:`repro.ilp.makespan.verify_schedule`.
+        return IlpSolution(
+            makespan=float(best_makespan),
+            start_times={node: float(s) for node, s in best_starts.items()},
+            optimal=False,
+            status=(
+                "time limit reached before HiGHS produced a solution; "
+                "returning the warm-start incumbent"
+            ),
+            variable_count=formulation.variable_count,
+            constraint_count=formulation.constraint_count,
+            horizon=formulation.horizon,
+            warm_started=True,
+        )
     solution.warm_started = True
     return solution

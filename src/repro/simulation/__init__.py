@@ -7,6 +7,9 @@
   (trace-producing reference implementation);
 * :mod:`repro.simulation.dense` -- the trace-free dense-index fast path
   (bit-identical makespans, no ``NodeExecution`` churn);
+* :mod:`repro.simulation.vectorized` -- the lockstep kernel advancing many
+  simulations per numpy batch (bit-identical makespans, the default of
+  ``simulate_many``);
 * :mod:`repro.simulation.batch` -- batched ``simulate_many`` over
   task x platform x policy grids with one compile per task;
 * :mod:`repro.simulation.trace` -- execution traces with legality validation;
@@ -32,6 +35,11 @@ from .schedulers import (
     policy_by_name,
 )
 from .trace import ExecutionTrace, NodeExecution
+from .vectorized import (
+    VectorCell,
+    simulate_makespan_lockstep,
+    simulate_makespans_vectorized,
+)
 from .worst_case import WorstCaseResult, exhaustive_worst_case, randomised_worst_case
 
 __all__ = [
@@ -42,6 +50,9 @@ __all__ = [
     "simulate",
     "simulate_makespan",
     "simulate_makespan_dense",
+    "simulate_makespan_lockstep",
+    "simulate_makespans_vectorized",
+    "VectorCell",
     "simulate_many",
     "ExecutionTrace",
     "NodeExecution",

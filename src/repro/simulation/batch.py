@@ -2,16 +2,23 @@
 
 The figure 6 sweep (and the scheduler ablation built on it) evaluates the
 same tasks on every host size and for both task variants (original and
-transformed): previously each ``simulate_makespan`` call re-derived
-in-degrees and successor order from scratch.  :func:`simulate_many` is the
-batch entry point that
+transformed).  :func:`simulate_many` is the batch entry point that
 
 * compiles each task **once** (:func:`repro.core.compiled.compile_task`) and
   reuses the compiled view across every ``(platform, policy)`` cell -- one
   compile serves all ``m`` values and both variants of a sweep point;
-* runs the trace-free dense fast path per cell
-  (:func:`~repro.simulation.dense.simulate_makespan_dense`), or the
-  trace-producing reference engine when ``makespans_only=False``;
+* runs the **vectorised lockstep kernel** by default
+  (:func:`~repro.simulation.vectorized.simulate_column_vectorized`): all
+  cells of a policy column advance as lanes of one numpy batch, which is
+  what makes the paper-scale figure 6 sweep (100 DAGs x 15 fractions x 4
+  host sizes x 2 variants) a few array-sweep batches instead of thousands
+  of Python event loops;
+* falls back to the trace-free dense engine
+  (:func:`~repro.simulation.dense.simulate_makespan_dense`) for cells the
+  kernel cannot serve -- custom or subclassed policies without a vector
+  kind -- and to the trace-producing reference engine when
+  ``makespans_only=False``; ``engine="dense"`` forces the dense path
+  everywhere (the benchmark baseline);
 * distributes fixed-size task chunks over a process pool; chunk boundaries
   and the per-chunk policy instances depend only on ``(tasks, chunk_size,
   root_seed)`` -- never on the worker count -- so ``jobs=N`` is
@@ -20,6 +27,18 @@ batch entry point that
   with :func:`repro.parallel.spawn_seeds`-derived child seeds (a plain copy
   for deterministic policies, an independently seeded stream for
   ``RandomPolicy``).
+
+Engine-equivalence contract
+---------------------------
+Every path produces bit-identical makespans: the lockstep kernel and the
+dense engine both reproduce ``simulate(...).makespan()`` exactly (enforced
+by ``tests/test_vectorized_engine.py`` / ``tests/test_dense_engine.py``),
+and the kernel's per-lane results do not depend on how cells are grouped
+into batches -- which is why the serial path may batch a whole call while
+``jobs=N`` batches per chunk, without breaking the determinism contract.
+Stochastic policies are the one subtlety: ``RandomPolicy`` draws are
+consumed per chunk in ``(task, platform)`` cell order on every path, so the
+chunk-seeded streams match the dense path draw for draw.
 """
 
 from __future__ import annotations
@@ -30,10 +49,16 @@ import numpy as np
 
 from ..core.compiled import compile_task
 from ..core.task import DagTask
-from ..parallel import parallel_map, spawn_seeds
+from ..parallel import parallel_map, resolve_jobs, spawn_seeds
 from .engine import _as_platform, simulate
 from .platform import Platform
-from .schedulers import BreadthFirstPolicy, SchedulingPolicy
+from .schedulers import (
+    VECTOR_RANDOM,
+    BreadthFirstPolicy,
+    SchedulingPolicy,
+    policy_vector_kind,
+)
+from .vectorized import simulate_column_vectorized
 
 __all__ = ["simulate_many"]
 
@@ -42,27 +67,48 @@ __all__ = ["simulate_many"]
 #: are identical for any ``jobs``.
 DEFAULT_CHUNK_SIZE = 16
 
+_ENGINES = ("auto", "dense")
+
+
+def _dense_column(entries, platforms, policy, offload_enabled) -> np.ndarray:
+    """One policy column via the dense engine, cells in (task, platform) order."""
+    from .dense import simulate_makespan_dense
+
+    out = np.empty((len(entries), len(platforms)), dtype=np.float64)
+    for t, (task, compiled) in enumerate(entries):
+        for p, platform in enumerate(platforms):
+            out[t, p] = simulate_makespan_dense(
+                task, platform, policy, offload_enabled, compiled=compiled
+            )
+    return out
+
+
+def _simulate_columns(
+    entries, platforms, policies, offload_enabled, engine
+) -> np.ndarray:
+    """Simulate one task chunk over the platform x policy grid (makespans)."""
+    out = np.empty(
+        (len(entries), len(platforms), len(policies)), dtype=np.float64
+    )
+    for q, policy in enumerate(policies):
+        if engine == "auto" and policy_vector_kind(policy) is not None:
+            out[:, :, q] = simulate_column_vectorized(
+                entries, platforms, policy, offload_enabled
+            )
+        else:
+            out[:, :, q] = _dense_column(
+                entries, platforms, policy, offload_enabled
+            )
+    return out
+
 
 def _simulate_chunk(args: tuple) -> np.ndarray | list:
     """Worker: simulate one task chunk over the full platform x policy grid."""
-    entries, platforms, policies, offload_enabled, makespans_only = args
+    entries, platforms, policies, offload_enabled, makespans_only, engine = args
     if makespans_only:
-        from .dense import simulate_makespan_dense
-
-        out = np.empty(
-            (len(entries), len(platforms), len(policies)), dtype=np.float64
+        return _simulate_columns(
+            entries, platforms, policies, offload_enabled, engine
         )
-        for t, (task, compiled) in enumerate(entries):
-            for p, platform in enumerate(platforms):
-                for q, policy in enumerate(policies):
-                    out[t, p, q] = simulate_makespan_dense(
-                        task,
-                        platform,
-                        policy,
-                        offload_enabled,
-                        compiled=compiled,
-                    )
-        return out
     return [
         [
             [
@@ -85,6 +131,7 @@ def simulate_many(
     jobs: Optional[int] = None,
     root_seed: int = 0,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    engine: str = "auto",
 ):
     """Simulate every task on every platform under every policy.
 
@@ -110,18 +157,28 @@ def simulate_many(
     makespans_only:
         ``True`` (default): return a ``float64`` array of shape
         ``(len(tasks), len(platforms), len(policies))`` computed by the
-        trace-free dense path.  ``False``: return the analogous nested list
-        of :class:`~repro.simulation.trace.ExecutionTrace` objects from the
+        vectorised lockstep kernel (dense fallback per cell where needed).
+        ``False``: return the analogous nested list of
+        :class:`~repro.simulation.trace.ExecutionTrace` objects from the
         reference engine (useful for inspection; much slower).
     jobs:
         Worker-process count; ``None``/``0``/``1`` runs serially with
-        results bit-identical to any parallel run.
+        results bit-identical to any parallel run.  The serial path batches
+        whole policy columns through the lockstep kernel (big batches
+        amortise best); parallel workers batch per chunk -- the kernel's
+        per-lane results do not depend on batch composition, so the
+        results agree bit for bit.
     root_seed:
         Root of the spawned per-chunk policy seeds.
     chunk_size:
         Tasks per chunk.  Part of the determinism contract: results depend
         on it (chunk boundaries seed the spawned policies) but never on
         ``jobs``.
+    engine:
+        ``"auto"`` (default): lockstep kernel for vectorisable policies,
+        dense fallback otherwise.  ``"dense"``: force the dense per-cell
+        path everywhere (the PR-3 behaviour; kept as the benchmark
+        baseline and an escape hatch).
 
     Returns
     -------
@@ -131,6 +188,8 @@ def simulate_many(
     """
     if chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     task_list = list(tasks)
     if isinstance(platforms, (Platform, int)):
         platforms = [platforms]
@@ -161,6 +220,42 @@ def simulate_many(
         for start in range(0, len(entries), chunk_size)
     ]
     seeds = spawn_seeds(root_seed, len(chunks) * len(policy_list))
+
+    if makespans_only and resolve_jobs(jobs) == 1:
+        # Serial fast path: batch whole policy columns through the lockstep
+        # kernel instead of dispatching chunk-sized batches.  Deterministic
+        # policies behave identically through any spawned copy, so one
+        # instance serves the whole column; RandomPolicy keeps the chunked
+        # per-instance streams of the determinism contract, so its column
+        # is evaluated chunk by chunk (matching the dense path draw for
+        # draw).  Custom policies take the dense per-cell fallback.
+        out = np.empty(shape, dtype=np.float64)
+        for q, policy in enumerate(policy_list):
+            kind = policy_vector_kind(policy) if engine == "auto" else None
+            per_chunk = kind is None or kind == VECTOR_RANDOM
+            if not per_chunk:
+                out[:, :, q] = simulate_column_vectorized(
+                    entries,
+                    platform_list,
+                    policy.spawned(seeds[q]),
+                    offload_enabled,
+                )
+                continue
+            row = 0
+            for c, chunk in enumerate(chunks):
+                spawned = policy.spawned(seeds[c * len(policy_list) + q])
+                if kind is None:
+                    block = _dense_column(
+                        chunk, platform_list, spawned, offload_enabled
+                    )
+                else:
+                    block = simulate_column_vectorized(
+                        chunk, platform_list, spawned, offload_enabled
+                    )
+                out[row : row + len(chunk), :, q] = block
+                row += len(chunk)
+        return out
+
     work = [
         (
             chunk,
@@ -171,6 +266,7 @@ def simulate_many(
             ],
             offload_enabled,
             makespans_only,
+            engine,
         )
         for c, chunk in enumerate(chunks)
     ]

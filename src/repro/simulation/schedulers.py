@@ -39,7 +39,19 @@ __all__ = [
     "FixedPriorityPolicy",
     "policy_by_name",
     "policy_supports_dense",
+    "policy_vector_kind",
+    "VECTOR_FIFO",
+    "VECTOR_LIFO",
+    "VECTOR_STATIC",
+    "VECTOR_RANDOM",
 ]
+
+#: Vector-kind labels of the lockstep kernel's priority families (see
+#: :func:`policy_vector_kind`).
+VECTOR_FIFO = "fifo"  # key (ready_time, creation index): BreadthFirstPolicy
+VECTOR_LIFO = "lifo"  # key (-arrival,): DepthFirstPolicy
+VECTOR_STATIC = "static"  # key (static per-node value, arrival)
+VECTOR_RANDOM = "random"  # key (seeded draw per arrival, arrival)
 
 
 class SchedulingPolicy(abc.ABC):
@@ -118,6 +130,21 @@ class SchedulingPolicy(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} sets supports_dense but does not "
             "implement the dense protocol"
+        )
+
+    def vector_keys(self, compiled: "CompiledTask") -> np.ndarray:
+        """Per-node primary priority values for the lockstep kernel.
+
+        Only meaningful for policies of the ``static`` vector kind (see
+        :func:`policy_vector_kind`): the returned ``float64`` array holds,
+        for every dense index, the first component of the policy's priority
+        tuple -- numerically identical to what :meth:`dense_priority` (and
+        therefore :meth:`priority`) would return, with the arrival index as
+        the tie-breaker.  The array may share storage with the compiled
+        view and must not be mutated.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide static vector keys"
         )
 
     def spawned(self, seed: int) -> "SchedulingPolicy":
@@ -225,6 +252,10 @@ class CriticalPathFirstPolicy(SchedulingPolicy):
     ) -> tuple:
         return (-self._dense_tail[index], arrival_index)
 
+    def vector_keys(self, compiled: "CompiledTask") -> np.ndarray:
+        self.prepare_dense(compiled)
+        return -np.asarray(self._dense_tail, dtype=np.float64)
+
 
 class ShortestFirstPolicy(SchedulingPolicy):
     """Smallest WCET first (SJF-like, tends to increase the makespan)."""
@@ -246,6 +277,9 @@ class ShortestFirstPolicy(SchedulingPolicy):
     ) -> tuple:
         return (self._dense_wcet[index], arrival_index)
 
+    def vector_keys(self, compiled: "CompiledTask") -> np.ndarray:
+        return compiled.wcet
+
 
 class LongestFirstPolicy(SchedulingPolicy):
     """Largest WCET first (LPT-like)."""
@@ -266,6 +300,9 @@ class LongestFirstPolicy(SchedulingPolicy):
         self, index: int, ready_time: float, arrival_index: int
     ) -> tuple:
         return (-self._dense_wcet[index], arrival_index)
+
+    def vector_keys(self, compiled: "CompiledTask") -> np.ndarray:
+        return -compiled.wcet
 
 
 class RandomPolicy(SchedulingPolicy):
@@ -300,6 +337,17 @@ class RandomPolicy(SchedulingPolicy):
         # so both consume the identical stream.
         return (float(self._rng.random()), arrival_index)
 
+    def vector_draws(self, count: int) -> np.ndarray:
+        """Consume ``count`` draws from the policy's stream as one array.
+
+        ``Generator.random(count)`` consumes the underlying bit stream
+        exactly like ``count`` successive scalar ``random()`` calls, so the
+        lockstep kernel can pre-draw one simulation's priority values (one
+        per non-instant node, assigned in arrival order) and stay
+        bit-identical to the per-arrival draws of the other engines.
+        """
+        return self._rng.random(count)
+
 
 class FixedPriorityPolicy(SchedulingPolicy):
     """Explicit per-node priorities (smaller value = higher priority).
@@ -329,6 +377,10 @@ class FixedPriorityPolicy(SchedulingPolicy):
         self, index: int, ready_time: float, arrival_index: int
     ) -> tuple:
         return (self._dense_priorities[index], arrival_index)
+
+    def vector_keys(self, compiled: "CompiledTask") -> np.ndarray:
+        self.prepare_dense(compiled)
+        return np.asarray(self._dense_priorities, dtype=np.float64)
 
 
 def _providing_class(cls: type, name: str) -> type:
@@ -364,6 +416,44 @@ def policy_supports_dense(policy: SchedulingPolicy) -> bool:
         ):
             return False
     return True
+
+
+#: Exact-type map of the built-in policies onto the lockstep kernel's
+#: priority families.  Keyed by concrete class on purpose: a subclass may
+#: override ``priority()``/``prepare()`` in ways the kernel cannot see, so
+#: anything that is not literally one of the seven built-ins falls back to
+#: the dense (or object-keyed) engine -- mirroring the conservative rule of
+#: :func:`policy_supports_dense`.
+_VECTOR_KINDS: dict[type, str] = {
+    BreadthFirstPolicy: VECTOR_FIFO,
+    DepthFirstPolicy: VECTOR_LIFO,
+    CriticalPathFirstPolicy: VECTOR_STATIC,
+    ShortestFirstPolicy: VECTOR_STATIC,
+    LongestFirstPolicy: VECTOR_STATIC,
+    RandomPolicy: VECTOR_RANDOM,
+    FixedPriorityPolicy: VECTOR_STATIC,
+}
+
+
+def policy_vector_kind(policy: SchedulingPolicy) -> Optional[str]:
+    """Vector-kind label of ``policy`` for the lockstep kernel, or ``None``.
+
+    ``None`` means the vectorised engine must not simulate this policy (a
+    custom or subclassed policy whose behaviour is only defined by its
+    object-keyed methods); callers fall back to the dense engine, which
+    adapts any policy and is bit-identical by contract.  The four families:
+
+    * :data:`VECTOR_FIFO` -- priority ``(ready time, creation index)``
+      (:class:`BreadthFirstPolicy`); needs no arrival bookkeeping because
+      the key pair is already unique per lane.
+    * :data:`VECTOR_LIFO` -- priority ``(-arrival,)``
+      (:class:`DepthFirstPolicy`).
+    * :data:`VECTOR_STATIC` -- priority ``(static per-node value, arrival)``
+      with the per-node values from :meth:`SchedulingPolicy.vector_keys`.
+    * :data:`VECTOR_RANDOM` -- priority ``(seeded draw, arrival)`` with the
+      draws pre-consumed via :meth:`RandomPolicy.vector_draws`.
+    """
+    return _VECTOR_KINDS.get(type(policy))
 
 
 _POLICIES: dict[str, type[SchedulingPolicy]] = {

@@ -1,0 +1,118 @@
+"""Edge cases of the batched simulation and generation entry points.
+
+``simulate_many`` and ``chunked_offload_fraction_sweep`` sit under every
+sweep driver; these tests pin their behaviour on the degenerate inputs a
+driver can produce -- empty ensembles, chunk sizes larger than the
+ensemble, more workers than work, single-policy batches, zero-node graphs
+-- so refactors of the batching layers cannot silently change them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.graph import DirectedAcyclicGraph
+from repro.core.task import DagTask
+from repro.generator.config import OffloadConfig
+from repro.generator.presets import SMALL_TASKS
+from repro.generator.sweep import chunked_offload_fraction_sweep
+from repro.simulation.batch import simulate_many
+from repro.simulation.engine import simulate
+from repro.simulation.schedulers import BreadthFirstPolicy, RandomPolicy
+
+from strategies import make_random_heterogeneous_task
+
+
+def _wcet_tables(point):
+    return [task.graph.wcets() for task in point.tasks]
+
+
+class TestSimulateManyEdgeCases:
+    def test_empty_ensemble(self):
+        assert simulate_many([], [2]).shape == (0, 1, 1)
+        assert simulate_many([], [2, 4], [BreadthFirstPolicy()], jobs=4).shape == (
+            0,
+            2,
+            1,
+        )
+        assert simulate_many([], [2], makespans_only=False) == []
+
+    def test_chunk_size_larger_than_ensemble(self):
+        tasks = [make_random_heterogeneous_task(seed, 0.2, n_max=15) for seed in range(3)]
+        small = simulate_many(tasks, [2], chunk_size=2)
+        huge = simulate_many(tasks, [2], chunk_size=500)
+        # Chunking is part of the determinism contract only through spawned
+        # policy streams; a deterministic policy must not see it at all.
+        assert np.array_equal(small, huge)
+        for t, task in enumerate(tasks):
+            assert huge[t, 0, 0] == simulate(task, 2).makespan()
+
+    def test_jobs_greater_than_cell_count(self):
+        task = make_random_heterogeneous_task(5, 0.3, n_max=15)
+        serial = simulate_many([task], [2], RandomPolicy(7), root_seed=3)
+        oversubscribed = simulate_many(
+            [task], [2], RandomPolicy(7), root_seed=3, jobs=16
+        )
+        assert np.array_equal(serial, oversubscribed)
+
+    def test_single_policy_batch_accepts_scalar_arguments(self):
+        task = make_random_heterogeneous_task(2, 0.2, n_max=15)
+        grid = simulate_many([task], 2, BreadthFirstPolicy())
+        assert grid.shape == (1, 1, 1)
+        assert grid[0, 0, 0] == simulate(task, 2).makespan()
+
+    def test_zero_node_graph_lane(self):
+        empty = DagTask(graph=DirectedAcyclicGraph())
+        task = make_random_heterogeneous_task(4, 0.2, n_max=15)
+        grid = simulate_many([empty, task], [2, 4])
+        assert grid.shape == (2, 2, 1)
+        assert grid[0].tolist() == [[0.0], [0.0]]
+        assert grid[1, 0, 0] == simulate(task, 2).makespan()
+
+    def test_invalid_arguments(self):
+        task = make_random_heterogeneous_task(1, 0.2, n_max=10)
+        with pytest.raises(ValueError):
+            simulate_many([task], [2], chunk_size=0)
+        with pytest.raises(ValueError):
+            simulate_many([task], [])
+        with pytest.raises(ValueError):
+            simulate_many([task], [2], [])
+        with pytest.raises(ValueError):
+            simulate_many([task], [2], engine="warp")
+
+
+class TestChunkedSweepEdgeCases:
+    def _sweep(self, **kwargs):
+        defaults = dict(
+            fractions=[0.1],
+            dags_per_point=3,
+            generator_config=SMALL_TASKS,
+            offload_config=OffloadConfig(),
+            root_seed=1,
+        )
+        defaults.update(kwargs)
+        return chunked_offload_fraction_sweep(**defaults)
+
+    def test_empty_ensemble_and_empty_grid(self):
+        points = self._sweep(dags_per_point=0)
+        assert [len(point) for point in points] == [0]
+        assert self._sweep(fractions=[]) == []
+
+    def test_chunk_size_larger_than_ensemble(self):
+        reference = self._sweep(chunk_size=1)
+        oversized = self._sweep(chunk_size=500)
+        # Chunk boundaries seed the generator streams, so the draws are
+        # allowed to differ between chunk sizes -- but each configuration
+        # must be internally deterministic.
+        assert _wcet_tables(oversized[0]) == _wcet_tables(self._sweep(chunk_size=500)[0])
+        assert len(reference[0]) == len(oversized[0]) == 3
+
+    def test_jobs_greater_than_chunk_count_draw_identical(self):
+        serial = self._sweep(chunk_size=2)
+        parallel = self._sweep(chunk_size=2, jobs=16)
+        assert _wcet_tables(serial[0]) == _wcet_tables(parallel[0])
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            self._sweep(chunk_size=0)

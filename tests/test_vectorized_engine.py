@@ -1,0 +1,329 @@
+"""Bit-identity of the lockstep kernel against both scalar engines.
+
+The vectorised lockstep kernel (:mod:`repro.simulation.vectorized`) and the
+batched :func:`~repro.simulation.batch.simulate_many` fast path must
+reproduce the reference trace engine's makespans *exactly* -- same floats,
+not approximately -- for every registered policy family, platform shape,
+device assignment and offload mode.  These properties mirror
+``tests/test_dense_engine.py`` and drive all three implementations over
+random DAGs from the shared strategies, comparing with ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import DagTask
+from repro.core.transformation import transform
+from repro.simulation.batch import simulate_many
+from repro.simulation.dense import simulate_makespan_dense
+from repro.simulation.engine import simulate
+from repro.simulation.platform import Platform
+from repro.simulation.schedulers import (
+    VECTOR_FIFO,
+    VECTOR_LIFO,
+    VECTOR_RANDOM,
+    VECTOR_STATIC,
+    BreadthFirstPolicy,
+    CriticalPathFirstPolicy,
+    FixedPriorityPolicy,
+    RandomPolicy,
+    SchedulingPolicy,
+    ShortestFirstPolicy,
+    policy_by_name,
+    policy_vector_kind,
+)
+from repro.simulation.vectorized import (
+    VectorCell,
+    simulate_column_vectorized,
+    simulate_makespan_lockstep,
+    simulate_makespans_vectorized,
+)
+
+from strategies import make_random_heterogeneous_task
+
+_SEEDS = st.integers(min_value=0, max_value=4_000)
+_FRACTIONS = st.floats(min_value=0.01, max_value=0.6, allow_nan=False)
+_CORES = st.sampled_from([1, 2, 3, 4])
+
+#: Every registered policy, as factories so that each engine run gets a
+#: fresh instance (RandomPolicy must replay the same stream on all paths).
+_POLICY_NAMES = (
+    "breadth-first",
+    "depth-first",
+    "critical-path-first",
+    "shortest-first",
+    "longest-first",
+    "random",
+    "fixed-priority",
+)
+
+
+def _policy_factories(task: DagTask, seed: int):
+    for name in _POLICY_NAMES:
+        yield name, lambda name=name: policy_by_name(name, rng=seed)
+    # fixed-priority via the registry has an empty table; also exercise a
+    # populated one (the worst-case search's usage pattern).
+    yield "fixed-priority(populated)", lambda: FixedPriorityPolicy(
+        {node: (seed + rank) % 5 for rank, node in enumerate(task.graph.nodes())}
+    )
+
+
+def _assert_identical(task, platform, factory, offload_enabled=True, assignment=None):
+    reference = simulate(
+        task,
+        platform,
+        factory(),
+        offload_enabled=offload_enabled,
+        device_assignment=assignment,
+    ).makespan()
+    dense = simulate_makespan_dense(
+        task,
+        platform,
+        factory(),
+        offload_enabled=offload_enabled,
+        device_assignment=assignment,
+    )
+    lockstep = simulate_makespan_lockstep(
+        task,
+        platform,
+        factory(),
+        offload_enabled=offload_enabled,
+        device_assignment=assignment,
+    )
+    assert lockstep == dense == reference
+
+
+class TestLockstepBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_all_policies_match_on_heterogeneous_tasks(self, seed, fraction, cores):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_all_policies_match_on_transformed_tasks(self, seed, fraction, cores):
+        # The transformed task carries the zero-WCET v_sync, exercising the
+        # instant-node cascade on every path (the vectorised wave for the
+        # fifo family, the exact scalar fallback for the stamped ones).
+        task = transform(make_random_heterogeneous_task(seed, fraction, n_max=25)).task
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=_SEEDS,
+        fraction=_FRACTIONS,
+        cores=_CORES,
+        accelerators=st.sampled_from([1, 2, 3, 4]),
+    )
+    def test_multi_offload_assignments_match(self, seed, fraction, cores, accelerators):
+        # Several offloaded regions spread over several devices (the
+        # extensions' usage pattern): an explicit node -> device mapping.
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        nodes = task.graph.nodes()
+        assignment = {
+            node: rank % accelerators for rank, node in enumerate(nodes[::3])
+        }
+        platform = Platform(cores, accelerators)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory, assignment=assignment)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS, cores=_CORES)
+    def test_offload_disabled_matches(self, seed, fraction, cores):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        platform = Platform(cores, 1)
+        for name, factory in _policy_factories(task, seed):
+            _assert_identical(task, platform, factory, offload_enabled=False)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_SEEDS, fraction=_FRACTIONS)
+    def test_batched_cells_match_per_cell_runs(self, seed, fraction):
+        # One mixed batch (original + transformed tasks, several platforms,
+        # every policy family) must equal the per-cell sequential runs: the
+        # kernel's per-lane results may not depend on batch composition.
+        base = make_random_heterogeneous_task(seed, fraction, n_max=20)
+        tasks = [base, transform(base).task]
+        platforms = [Platform(1, 1), Platform(3, 1)]
+        cells, references = [], []
+        for name in _POLICY_NAMES:
+            for task in tasks:
+                for platform in platforms:
+                    cells.append(
+                        VectorCell(
+                            task=task,
+                            platform=platform,
+                            policy=policy_by_name(name, rng=seed),
+                        )
+                    )
+                    references.append(
+                        simulate(
+                            task, platform, policy_by_name(name, rng=seed)
+                        ).makespan()
+                    )
+        assert list(simulate_makespans_vectorized(cells)) == references
+
+    def test_random_policy_shared_stream_matches_cell_order(self):
+        # One RandomPolicy instance serving several cells must consume its
+        # stream in cell order, exactly like sequential per-cell runs.
+        tasks = [make_random_heterogeneous_task(seed, 0.2, n_max=20) for seed in range(4)]
+        platforms = [Platform(2, 1), Platform(4, 1)]
+        reference_policy = RandomPolicy(99)
+        references = [
+            simulate(task, platform, reference_policy).makespan()
+            for task in tasks
+            for platform in platforms
+        ]
+        cells_policy = RandomPolicy(99)
+        cells = [
+            VectorCell(task=task, platform=platform, policy=cells_policy)
+            for task in tasks
+            for platform in platforms
+        ]
+        assert list(simulate_makespans_vectorized(cells)) == references
+
+    def test_column_grid_matches_reference(self):
+        tasks = [make_random_heterogeneous_task(seed, 0.3, n_max=20) for seed in range(5)]
+        platforms = [Platform(2, 1), Platform(5, 1)]
+        for name in ("breadth-first", "critical-path-first"):
+            grid = simulate_column_vectorized(
+                [(task, None) for task in tasks], platforms, policy_by_name(name)
+            )
+            assert grid.shape == (len(tasks), len(platforms))
+            for t, task in enumerate(tasks):
+                for p, platform in enumerate(platforms):
+                    assert grid[t, p] == simulate(
+                        task, platform, policy_by_name(name)
+                    ).makespan()
+
+    def test_near_tied_finishes_keep_fifo_order(self):
+        # Float-sum divergence (0.1 + 0.2 != 0.3) produces completions that
+        # differ by less than the engines' 1e-12 retire window: they retire
+        # in the same step but with *different* finish times, so same-step
+        # arrivals no longer tie on ready time and the kernel must fall
+        # back to the full (lane, ready, index) ordering.  Chained tenth
+        # WCETs generate such windows all over the schedule.
+        tenths = [0.1, 0.2, 0.3]
+        for cores in (1, 2, 3):
+            for seed in range(6):
+                rng = np.random.default_rng(seed)
+                wcets = {
+                    f"n{i}": float(tenths[int(rng.integers(3))]) for i in range(18)
+                }
+                edges = [
+                    (f"n{i}", f"n{j}")
+                    for i in range(18)
+                    for j in range(i + 1, 18)
+                    if rng.random() < 0.15
+                ]
+                task = DagTask.from_wcets(wcets, edges)
+                reference = simulate(task, cores, BreadthFirstPolicy()).makespan()
+                assert (
+                    simulate_makespan_lockstep(task, cores, BreadthFirstPolicy())
+                    == reference
+                )
+                assert (
+                    simulate_makespan_dense(task, cores, BreadthFirstPolicy())
+                    == reference
+                )
+
+    def test_unsupported_policy_rejected(self):
+        class Custom(SchedulingPolicy):
+            def priority(self, node, ready_time, arrival_index):
+                return (arrival_index,)
+
+        task = make_random_heterogeneous_task(1, 0.2, n_max=10)
+        with pytest.raises(ValueError):
+            simulate_makespan_lockstep(task, 2, Custom())
+
+    def test_vector_kind_registry(self):
+        assert policy_vector_kind(BreadthFirstPolicy()) == VECTOR_FIFO
+        assert policy_vector_kind(policy_by_name("depth-first")) == VECTOR_LIFO
+        assert policy_vector_kind(RandomPolicy(0)) == VECTOR_RANDOM
+        for name in ("critical-path-first", "shortest-first", "longest-first",
+                     "fixed-priority"):
+            assert policy_vector_kind(policy_by_name(name)) == VECTOR_STATIC
+
+        # Subclasses have no vector kind, even when they override nothing:
+        # the kernel cannot see what a subclass might change, so anything
+        # that is not literally a built-in falls back to the dense engine.
+        class SubtlyDifferent(ShortestFirstPolicy):
+            def priority(self, node, ready_time, arrival_index):
+                return (-self._wcet.get(node, 0.0), arrival_index)
+
+        assert policy_vector_kind(SubtlyDifferent()) is None
+        # ... and simulate_many still serves it, bit-identically, through
+        # the dense fallback.
+        task = make_random_heterogeneous_task(3, 0.2, n_max=15)
+        grid = simulate_many([task], [2], SubtlyDifferent())
+        assert grid[0, 0, 0] == simulate(task, 2, SubtlyDifferent()).makespan()
+
+    def test_static_keys_match_dense_priorities(self):
+        task = make_random_heterogeneous_task(7, 0.25, n_max=20)
+        compiled = task.compiled()
+        for name in ("critical-path-first", "shortest-first", "longest-first"):
+            policy = policy_by_name(name)
+            keys = policy.vector_keys(compiled)
+            policy.prepare_dense(compiled)
+            for index in range(len(compiled.nodes)):
+                assert keys[index] == policy.dense_priority(index, 0.0, 1)[0]
+
+
+class TestSimulateManyEngines:
+    def _tasks(self, count=5):
+        tasks = [make_random_heterogeneous_task(seed, 0.2, n_max=20) for seed in range(count)]
+        return tasks + [transform(task).task for task in tasks]
+
+    def test_auto_equals_dense_engine(self):
+        tasks = self._tasks()
+        platforms = [Platform(2, 1), Platform(4, 1)]
+        policies = [
+            BreadthFirstPolicy(),
+            policy_by_name("critical-path-first"),
+            policy_by_name("depth-first"),
+            RandomPolicy(5),
+        ]
+        auto = simulate_many(tasks, platforms, policies, root_seed=11, chunk_size=3)
+        dense = simulate_many(
+            tasks, platforms, policies, root_seed=11, chunk_size=3, engine="dense"
+        )
+        assert np.array_equal(auto, dense)
+
+    def test_serial_vs_jobs_bit_identical(self):
+        tasks = self._tasks()
+        policies = [BreadthFirstPolicy(), RandomPolicy(3)]
+        serial = simulate_many(tasks, [2, 8], policies, root_seed=11, chunk_size=3)
+        parallel = simulate_many(
+            tasks, [2, 8], policies, root_seed=11, chunk_size=3, jobs=2
+        )
+        assert np.array_equal(serial, parallel)
+
+    def test_matches_reference_engine_per_cell(self):
+        tasks = self._tasks(count=3)
+        platforms = [Platform(2, 1), Platform(4, 1)]
+        policies = [BreadthFirstPolicy(), CriticalPathFirstPolicy()]
+        makespans = simulate_many(tasks, platforms, policies)
+        for t, task in enumerate(tasks):
+            for p, platform in enumerate(platforms):
+                for q, policy in enumerate(
+                    (BreadthFirstPolicy(), CriticalPathFirstPolicy())
+                ):
+                    assert makespans[t, p, q] == simulate(
+                        task, platform, policy
+                    ).makespan()
+
+    def test_offload_disabled_and_bad_engine(self):
+        tasks = self._tasks(count=2)
+        auto = simulate_many(tasks, [2], offload_enabled=False)
+        dense = simulate_many(tasks, [2], offload_enabled=False, engine="dense")
+        assert np.array_equal(auto, dense)
+        with pytest.raises(ValueError):
+            simulate_many(tasks, [2], engine="warp")
