@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Benchmark of the PR-5 evaluation service on a figure-6-shaped request mix.
+
+Models the serving scenario the ROADMAP's north star describes: many
+concurrent clients asking single-cell questions ("makespan of this task on
+``m`` cores") drawn from the quick-scale figure 6 ensemble (original +
+transformed variants, ``m in {2, 4, 8, 16}``), with each unique request
+appearing ``REPEAT`` times in the (deterministically shuffled) mix -- live
+traffic re-asks popular questions.
+
+Three ways to serve the same mix, all of which must return **identical**
+makespans:
+
+* **naive per-request** -- what every pre-PR-5 entry point pays: each
+  request parses its task document (``task_from_dict``), compiles it and
+  runs one ``simulate_makespan`` -- no state survives between requests
+  (the one-shot-process model of the CLI and drivers, minus process
+  startup, so the baseline is conservative);
+* **service, cold** -- a long-lived :class:`~repro.service.EvaluationService`
+  receiving the burst from one thread per request: documents are parsed
+  once per unique task, concurrent requests coalesce in the micro-batch
+  queue (duplicates join in flight), and each flush runs one batched
+  engine call;
+* **service, warm** -- the identical burst again: pure fingerprint-keyed
+  cache hits.
+
+Acceptance (enforced by ``--smoke`` in CI, next to the PR 2-4 smokes):
+the cold service must beat the naive path by ``SERVICE_SPEEDUP_TARGET``
+(the batching/amortisation gain) and the warm service must beat it by
+``HIT_SPEEDUP_TARGET`` (the hit-path gain), with bit-identical results.
+
+Run with:  python benchmarks/bench_service.py  [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.transformation import transform  # noqa: E402
+from repro.experiments.config import quick_scale  # noqa: E402
+from repro.generator.config import OffloadConfig  # noqa: E402
+from repro.generator.presets import LARGE_TASKS_FIG6  # noqa: E402
+from repro.generator.sweep import chunked_offload_fraction_sweep  # noqa: E402
+from repro.io.json_io import task_from_dict, task_to_dict  # noqa: E402
+from repro.service import EvaluationService  # noqa: E402
+from repro.simulation.engine import simulate_makespan  # noqa: E402
+from repro.simulation.platform import Platform  # noqa: E402
+from repro.simulation.schedulers import policy_by_name  # noqa: E402
+
+OUTPUT = _REPO_ROOT / "BENCH_PR5.json"
+
+#: Acceptance: cold service vs naive per-request (batching/amortisation).
+SERVICE_SPEEDUP_TARGET = 2.0
+
+#: Acceptance: warm service vs naive per-request (cache-hit path).
+HIT_SPEEDUP_TARGET = 10.0
+
+#: How often each unique request appears in the mix (live traffic re-asks
+#: popular questions; the report carries both unique and total counts).
+REPEAT = 3
+
+#: Timed repetitions; the best (minimum) time is reported.
+REPEATS = 3
+
+
+def figure6_request_mix(smoke: bool):
+    """``(documents, requests)``: task documents + shuffled (doc, m) mix."""
+    scale = quick_scale()
+    fractions = scale.fractions
+    dags_per_point = 8 if smoke else scale.dags_per_point
+    points = chunked_offload_fraction_sweep(
+        fractions=fractions,
+        dags_per_point=dags_per_point,
+        generator_config=LARGE_TASKS_FIG6,
+        offload_config=OffloadConfig(),
+        root_seed=scale.seed,
+    )
+    tasks = [task for point in points for task in point.tasks]
+    tasks = tasks + [transform(task).task for task in tasks]
+    documents = [task_to_dict(task) for task in tasks]
+    unique = [
+        (index, cores)
+        for index in range(len(documents))
+        for cores in (2, 4, 8, 16)
+    ]
+    requests = unique * REPEAT
+    random.Random(2018).shuffle(requests)
+    return documents, requests
+
+
+def bench_naive(documents, requests) -> tuple[float, list[float]]:
+    """One-shot evaluation per request: parse + compile + simulate."""
+
+    def run() -> list[float]:
+        return [
+            simulate_makespan(
+                task_from_dict(documents[index]),
+                Platform(cores),
+                policy_by_name("breadth-first"),
+            )
+            for index, cores in requests
+        ]
+
+    best_s, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run()
+        best_s = min(best_s, time.perf_counter() - t0)
+    return best_s, result
+
+
+def bench_service(documents, requests):
+    """Thread-per-request burst against a fresh service; then the warm burst.
+
+    Returns ``(cold_s, warm_s, cold_results, warm_results, stats)``; the
+    cold time includes parsing each unique document once (the long-lived
+    client keeps parsed tasks, unlike the one-shot baseline).
+    """
+    workers = min(len(requests), 256)
+    best = None
+    for _ in range(REPEATS):
+        service = EvaluationService()
+        pool = ThreadPoolExecutor(max_workers=workers)
+        list(pool.map(lambda value: value, range(workers)))  # pre-spawn
+
+        t0 = time.perf_counter()
+        tasks = [task_from_dict(document) for document in documents]
+        cold = list(
+            pool.map(
+                lambda request: service.submit_simulation(
+                    tasks[request[0]], request[1], timeout=600
+                ),
+                requests,
+            )
+        )
+        cold_s = time.perf_counter() - t0
+
+        warm_s = float("inf")
+        warm = None
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            warm = list(
+                pool.map(
+                    lambda request: service.submit_simulation(
+                        tasks[request[0]], request[1], timeout=600
+                    ),
+                    requests,
+                )
+            )
+            warm_s = min(warm_s, time.perf_counter() - t0)
+
+        stats = service.stats()
+        pool.shutdown()
+        service.close()
+        if best is None or cold_s < best[0]:
+            best = (cold_s, warm_s, cold, warm, stats)
+    return best
+
+
+def main() -> dict:
+    smoke = "--smoke" in sys.argv
+    documents, requests = figure6_request_mix(smoke)
+    unique = len(set(requests))
+    print(
+        f"figure 6 request mix: {len(requests)} requests "
+        f"({unique} unique, x{REPEAT} repetition, "
+        f"{len(documents)} task variants, m in [2, 4, 8, 16])"
+    )
+
+    naive_s, naive = bench_naive(documents, requests)
+    cold_s, warm_s, cold, warm, stats = bench_service(documents, requests)
+
+    identical = naive == cold == warm
+    service_speedup = naive_s / max(cold_s, 1e-9)
+    hit_speedup = naive_s / max(warm_s, 1e-9)
+
+    document = {
+        "benchmark": "evaluation_service",
+        "pr": 5,
+        "description": (
+            "Long-lived evaluation service (micro-batching queue + "
+            "fingerprint-keyed LRU cache over the batched engines; "
+            "repro/service/) vs naive one-shot per-request "
+            "simulate_makespan calls on a figure-6-shaped request mix "
+            "(see docs/service.md)."
+        ),
+        "smoke": smoke,
+        "requests": len(requests),
+        "unique_requests": unique,
+        "repetition": REPEAT,
+        "task_variants": len(documents),
+        "platforms": [2, 4, 8, 16],
+        "naive_per_request_s": naive_s,
+        "service_cold_s": cold_s,
+        "service_warm_s": warm_s,
+        "naive_requests_per_s": len(requests) / naive_s,
+        "service_cold_requests_per_s": len(requests) / cold_s,
+        "service_warm_requests_per_s": len(requests) / warm_s,
+        "service_speedup": service_speedup,
+        "hit_speedup": hit_speedup,
+        "batches": stats["batching"]["batches"],
+        "largest_batch": stats["batching"]["largest_batch"],
+        "evaluated_cells": stats["engine"]["evaluated_cells"],
+        "inflight_joins": stats["engine"]["inflight_joins"],
+        "cache": {
+            key: stats["cache"][key] for key in ("hits", "misses", "bytes")
+        },
+        "makespans_identical": bool(identical),
+        "acceptance": {
+            "service_speedup": service_speedup,
+            "service_speedup_target": SERVICE_SPEEDUP_TARGET,
+            "service_speedup_met": service_speedup >= SERVICE_SPEEDUP_TARGET,
+            "hit_speedup": hit_speedup,
+            "hit_speedup_target": HIT_SPEEDUP_TARGET,
+            "hit_speedup_met": hit_speedup >= HIT_SPEEDUP_TARGET,
+            "makespans_identical": bool(identical),
+        },
+    }
+
+    print(
+        f"naive one-shot: {naive_s:.3f}s ({document['naive_requests_per_s']:.0f} "
+        f"req/s) | service cold: {cold_s:.3f}s "
+        f"({document['service_cold_requests_per_s']:.0f} req/s, "
+        f"x{service_speedup:.2f}) | service warm: {warm_s:.4f}s "
+        f"({document['service_warm_requests_per_s']:.0f} req/s, "
+        f"x{hit_speedup:.1f})"
+    )
+    print(
+        f"coalescing: {len(requests)} requests -> {document['batches']} batches "
+        f"(largest {document['largest_batch']}), "
+        f"{document['evaluated_cells']} evaluated cells, "
+        f"{document['inflight_joins']} in-flight joins"
+    )
+    if not smoke:
+        OUTPUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"results written to {OUTPUT}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: batching x{accepted['service_speedup']:.2f} "
+        f"(target x{accepted['service_speedup_target']:.1f}) -> "
+        f"{'PASS' if accepted['service_speedup_met'] else 'FAIL'}; "
+        f"hit path x{accepted['hit_speedup']:.1f} "
+        f"(target x{accepted['hit_speedup_target']:.0f}) -> "
+        f"{'PASS' if accepted['hit_speedup_met'] else 'FAIL'}; "
+        f"makespans identical -> "
+        f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    result = main()
+    accepted = result["acceptance"]
+    if not (
+        accepted["service_speedup_met"]
+        and accepted["hit_speedup_met"]
+        and accepted["makespans_identical"]
+    ):
+        sys.exit(1)

@@ -10,14 +10,21 @@ Installed as ``repro-rta`` (see ``pyproject.toml``) and also runnable as
     Apply Algorithm 1 and print (or export) the transformed DAG.
 ``simulate``
     Simulate the task (optionally after transformation) under a chosen
-    work-conserving policy and print an ASCII Gantt chart.
+    work-conserving policy.  The makespan is computed through the
+    trace-free dense fast path (``simulate_makespan``); ``--gantt``
+    additionally renders an ASCII Gantt chart and utilisation figures via
+    the trace-producing reference engine.
 ``makespan``
-    Compute the optimal makespan via the ILP or the branch-and-bound solver.
+    Compute the optimal makespan via the ILP or the branch-and-bound solver
+    (routed through the batched, memoised oracle layer).
 ``generate``
     Generate random heterogeneous tasks from the paper's workload presets.
 ``experiment``
     Run one of the paper's experiments and print its table (optionally
     exporting CSV/JSON).
+``serve``
+    Run the long-lived HTTP evaluation service (micro-batching queue +
+    fingerprint-keyed result cache over the batched engines).
 """
 
 from __future__ import annotations
@@ -45,10 +52,12 @@ from .generator.config import OffloadConfig
 from .generator.offload import make_heterogeneous
 from .generator.presets import preset_by_name
 from .generator.random_dag import DagStructureGenerator
-from .ilp.makespan import MakespanMethod, minimum_makespan
+from .ilp.batch import minimum_makespans_many
+from .ilp.makespan import MakespanMethod
 from .io.dot import load_dot, save_dot
 from .io.json_io import load_task, save_task
-from .simulation.engine import simulate
+from .service.http import add_serve_arguments, serve_from_args
+from .simulation.engine import simulate, simulate_makespan
 from .simulation.platform import Platform
 from .simulation.schedulers import policy_by_name
 from .visualization.ascii_art import describe_task, describe_transformation, render_gantt
@@ -124,16 +133,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         task = transform(task).task
     platform = Platform(host_cores=args.cores, accelerators=args.accelerators)
     policy = policy_by_name(args.policy, rng=args.seed)
-    trace = simulate(task, platform, policy, offload_enabled=not args.no_offload)
-    trace.validate()
-    print(render_gantt(trace))
-    print(f"\nmakespan               = {trace.makespan():g}")
-    print(f"host utilisation       = {100 * trace.host_utilisation():.1f}%")
-    print(f"accelerator utilisation= {100 * trace.accelerator_utilisation():.1f}%")
-    print(
-        "host idle while device busy = "
-        f"{trace.host_idle_while_accelerator_busy():g} core*time"
-    )
+    offload_enabled = not args.no_offload
+    if args.gantt:
+        # The Gantt chart and the utilisation figures need the execution
+        # trace, which only the reference engine produces.
+        trace = simulate(task, platform, policy, offload_enabled=offload_enabled)
+        trace.validate()
+        print(render_gantt(trace))
+        print(f"\nmakespan               = {trace.makespan():g}")
+        print(f"host utilisation       = {100 * trace.host_utilisation():.1f}%")
+        print(
+            f"accelerator utilisation= "
+            f"{100 * trace.accelerator_utilisation():.1f}%"
+        )
+        print(
+            "host idle while device busy = "
+            f"{trace.host_idle_while_accelerator_busy():g} core*time"
+        )
+        return 0
+    # Default fast path: the trace-free dense engine (simulate_makespan),
+    # bit-identical to the reference engine for every policy.  The
+    # vectorised lockstep kernel only amortises over large batches -- for
+    # a single simulation the dense engine is the right engine.
+    makespan = simulate_makespan(task, platform, policy, offload_enabled)
+    print(f"makespan               = {makespan:g}")
+    print("(use --gantt for the schedule chart and utilisation figures)")
     return 0
 
 
@@ -144,13 +168,15 @@ def _cmd_makespan(args: argparse.Namespace) -> int:
         "bnb": MakespanMethod.BRANCH_AND_BOUND,
         "auto": MakespanMethod.AUTO,
     }[args.method]
-    result = minimum_makespan(
-        task,
+    # Routed through the batched oracle layer: deduplication plus the
+    # process-wide memo (repeated CLI calls in one process are free).
+    result = minimum_makespans_many(
+        [task],
         args.cores,
         accelerators=args.accelerators,
         method=method,
         time_limit=args.time_limit,
-    )
+    )[0]
     print(f"minimum makespan = {result.makespan:g} "
           f"({result.method.value}, optimal={result.optimal})")
     if args.verbose:
@@ -256,6 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument(
         "--no-offload", action="store_true", help="run every node on the host"
     )
+    simulate_cmd.add_argument(
+        "--gantt",
+        action="store_true",
+        help="render the ASCII Gantt chart and utilisation figures "
+        "(runs the trace-producing reference engine)",
+    )
     simulate_cmd.set_defaults(func=_cmd_simulate)
 
     makespan_cmd = subparsers.add_parser("makespan", help="optimal makespan (ILP)")
@@ -301,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_cmd.add_argument("--csv", default=None)
     experiment_cmd.add_argument("--json", default=None)
     experiment_cmd.set_defaults(func=_cmd_experiment)
+
+    serve_cmd = subparsers.add_parser(
+        "serve", help="run the long-lived HTTP evaluation service"
+    )
+    add_serve_arguments(serve_cmd)
+    serve_cmd.set_defaults(func=serve_from_args)
 
     return parser
 

@@ -37,6 +37,8 @@ processes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import TYPE_CHECKING, Union
 
 import numpy as np
@@ -66,6 +68,7 @@ class CompiledTask:
         "in_degree",
         "generation",
         "_views",
+        "_fingerprint",
     )
 
     def __init__(
@@ -95,6 +98,7 @@ class CompiledTask:
         ]
         self.generation = generation
         self._views: dict[str, np.ndarray] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -145,6 +149,41 @@ class CompiledTask:
     def in_degree_array(self) -> np.ndarray:
         """``in_degree`` as an ``int64`` array (cached)."""
         return self._view("in_degree", self.in_degree)
+
+    # ------------------------------------------------------------------
+    # Content fingerprint
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the weighted graph (structure + WCETs).
+
+        The hash is computed over the *sorted* ``(str(node), wcet)`` pairs
+        and the sorted stringified edge list, so it depends only on the
+        graph's content: two structurally identical DAGs built in different
+        node-insertion orders hash equal, and the hash survives pickling
+        (unlike the generation stamp, which is per-object).  The serving
+        layer (:mod:`repro.service.fingerprint`) keys its memoised results
+        on this value, which is why it lives on the compiled view: the
+        stamp-cached compile and the result-cache key agree -- an unmutated
+        task hashes exactly once.
+
+        Node identifiers are stringified the same way as the JSON codec
+        (:func:`repro.io.json_io.task_to_dict`); identifiers whose ``str``
+        forms collide would alias, matching the on-disk format's own
+        behaviour.
+        """
+        if self._fingerprint is None:
+            names = [str(node) for node in self.nodes]
+            nodes = sorted(zip(names, self.wcet_list))
+            edges = sorted(
+                (names[i], names[s])
+                for i in range(len(names))
+                for s in self.succ_idx[self.succ_ptr[i] : self.succ_ptr[i + 1]]
+            )
+            payload = json.dumps(
+                {"edges": edges, "nodes": nodes}, separators=(",", ":")
+            ).encode("utf-8")
+            self._fingerprint = hashlib.sha256(payload).hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -21,6 +21,8 @@ __all__ = [
     "SimulationError",
     "SolverError",
     "SerializationError",
+    "ServiceError",
+    "ServiceClosedError",
 ]
 
 
@@ -103,3 +105,11 @@ class SolverError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when (de)serialising tasks to/from JSON or DOT fails."""
+
+
+class ServiceError(ReproError):
+    """Raised when the long-lived evaluation service cannot serve a request."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request reaches a service that has been closed."""

@@ -1,0 +1,61 @@
+"""Long-lived evaluation service over the batched engines (PR 5).
+
+The serving layer of the reproduction: a cache-backed, micro-batching
+facade that amortises compilation, analysis and simulation across requests
+the way the one-shot CLI/driver entry points cannot.  See
+``docs/service.md`` for the architecture and capacity-tuning notes.
+
+Modules
+-------
+:mod:`~repro.service.fingerprint`
+    Stable content hashes for tasks, platforms, policies and requests.
+:mod:`~repro.service.cache`
+    Thread-safe byte-capped LRU result store with hit/miss/eviction
+    counters.
+:mod:`~repro.service.batching`
+    Deadline/size-triggered micro-batching request queue.
+:mod:`~repro.service.facade`
+    :class:`EvaluationService` -- the synchronous in-process API.
+:mod:`~repro.service.http`
+    Stdlib HTTP/JSON transport (``repro serve`` / ``repro-serve``).
+:mod:`~repro.service.client`
+    Thin Python client of the HTTP transport.
+"""
+
+from .batching import BatchRequest, MicroBatcher
+from .cache import ResultCache
+from .client import ServiceClient
+from .facade import (
+    EvaluationService,
+    analysis_payload,
+    build_policy,
+    makespan_payload,
+    simulation_payload,
+)
+from .fingerprint import (
+    graph_fingerprint,
+    platform_fingerprint,
+    policy_fingerprint,
+    request_fingerprint,
+    task_fingerprint,
+)
+from .http import ServiceHTTPServer, start_server
+
+__all__ = [
+    "EvaluationService",
+    "ResultCache",
+    "MicroBatcher",
+    "BatchRequest",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "start_server",
+    "build_policy",
+    "simulation_payload",
+    "analysis_payload",
+    "makespan_payload",
+    "graph_fingerprint",
+    "task_fingerprint",
+    "platform_fingerprint",
+    "policy_fingerprint",
+    "request_fingerprint",
+]

@@ -1,0 +1,269 @@
+"""Micro-batching request queue of the evaluation service.
+
+A long-lived service receives requests one at a time, but the engines
+underneath it (:func:`~repro.simulation.batch.simulate_many`,
+:func:`~repro.analysis.batch.analyse_many`,
+:func:`~repro.ilp.batch.minimum_makespans_many`) amortise best over
+*batches*: one compile per distinct task, one vectorised lockstep batch per
+policy column, one deduplicated oracle dispatch.  :class:`MicroBatcher`
+bridges the two shapes the way a model-inference server does: concurrent
+in-flight requests are parked in a pending list and flushed to an executor
+callback as one batch when either
+
+* the queue goes **quiet** -- no new request arrived for ``quiet_interval``
+  seconds (a burst keeps arriving back-to-back, so this trigger lets the
+  whole burst accumulate while adding at most one quiet window of latency
+  to a lone request), or
+* the **deadline** expires -- ``flush_interval`` seconds after the oldest
+  pending request arrived (bounds the latency a steady trickle of arrivals
+  could otherwise add by endlessly postponing the quiet trigger), or
+* the **size trigger** fires -- ``max_batch`` requests are pending (bounded
+  batch memory), or
+* the batcher is **closed** -- the queue drains every parked request before
+  the worker exits, so ``close()`` never abandons a caller.
+
+The executor (supplied by :class:`~repro.service.facade.EvaluationService`)
+receives the whole batch and must resolve every request; any request it
+leaves unresolved is failed defensively so no caller can block forever.
+
+The batcher is engine-agnostic: requests carry an opaque ``group_key`` the
+executor uses to split a flush into engine-compatible groups, plus a
+``fingerprint`` identifying the computation for caching/deduplication.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from ..core.exceptions import ServiceClosedError, ServiceError
+
+__all__ = ["BatchRequest", "MicroBatcher"]
+
+
+@dataclass
+class BatchRequest:
+    """One in-flight request parked in (or flushed from) the queue.
+
+    Attributes
+    ----------
+    kind:
+        Request kind tag (``"simulate"``, ``"analyse"``, ``"makespan"``).
+    fingerprint:
+        The request fingerprint (cache key) from
+        :func:`repro.service.fingerprint.request_fingerprint`.
+    group_key:
+        Hashable key describing which batched-engine call can serve the
+        request; the executor groups a flush by ``(kind, group_key)``.
+    task:
+        The task object of the request (kept as-is; the engines compile it).
+    params:
+        Remaining request parameters, as built by the facade.
+    """
+
+    kind: str
+    fingerprint: str
+    group_key: Hashable
+    task: object
+    params: dict
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    result: object = None
+    error: Optional[BaseException] = None
+
+    def resolve(self, result: object) -> None:
+        """Deliver ``result`` to the waiting submitter."""
+        self.result = result
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Deliver ``error`` to the waiting submitter."""
+        self.error = error
+        self._done.set()
+
+    @property
+    def resolved(self) -> bool:
+        """``True`` once :meth:`resolve` or :meth:`fail` ran."""
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> object:
+        """Block until the request is served; return or raise its outcome."""
+        if not self._done.wait(timeout):
+            raise ServiceError(
+                f"{self.kind} request {self.fingerprint[:12]} timed out "
+                f"after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class MicroBatcher:
+    """Deadline/size-triggered request coalescer (see module docstring).
+
+    Parameters
+    ----------
+    execute:
+        Callback receiving each flushed batch (a list of
+        :class:`BatchRequest`); it must resolve or fail every request.
+    flush_interval:
+        Hard deadline in seconds: a pending request never waits longer than
+        this for companions (the latency cap of the coalescing trade).
+    quiet_interval:
+        Quiescence window in seconds: flush as soon as no new request
+        arrived for this long.  Must not exceed ``flush_interval``.
+    max_batch:
+        Pending-request count that triggers an immediate flush.
+    name:
+        Worker-thread name (visible in diagnostics).
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[list[BatchRequest]], None],
+        *,
+        flush_interval: float = 0.05,
+        quiet_interval: float = 0.002,
+        max_batch: int = 512,
+        name: str = "repro-service-batcher",
+    ) -> None:
+        if flush_interval < 0:
+            raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
+        if not 0 <= quiet_interval <= flush_interval:
+            raise ValueError(
+                f"quiet_interval must be in [0, flush_interval], got "
+                f"{quiet_interval} (flush_interval {flush_interval})"
+            )
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self.flush_interval = flush_interval
+        self.quiet_interval = quiet_interval
+        self.max_batch = max_batch
+        self._condition = threading.Condition()
+        self._pending: list[BatchRequest] = []
+        self._oldest: float = 0.0
+        self._latest: float = 0.0
+        self._closed = False
+        self._submitted = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._flushes = {"quiet": 0, "deadline": 0, "size": 0, "close": 0}
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission / shutdown
+    # ------------------------------------------------------------------
+    def submit(self, request: BatchRequest) -> BatchRequest:
+        """Park ``request`` for the next flush (non-blocking).
+
+        The caller collects the outcome via :meth:`BatchRequest.wait`.
+
+        Raises
+        ------
+        ServiceClosedError
+            When the batcher has been closed.
+        """
+        with self._condition:
+            if self._closed:
+                raise ServiceClosedError(
+                    "evaluation service is closed; no further requests accepted"
+                )
+            now = time.monotonic()
+            if not self._pending:
+                self._oldest = now
+            self._latest = now
+            self._pending.append(request)
+            self._submitted += 1
+            self._condition.notify_all()
+        return request
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Refuse new requests, drain the queue, and join the worker."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._worker.join(timeout)
+        if self._worker.is_alive():  # pragma: no cover - defensive
+            raise ServiceError("batcher worker did not drain within the timeout")
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> tuple[list[BatchRequest], Optional[str]]:
+        """Wait for a flush trigger; return ``(batch, reason)``.
+
+        Returns ``([], None)`` when the batcher is closed and drained.
+        """
+        with self._condition:
+            while True:
+                if self._pending:
+                    now = time.monotonic()
+                    until_deadline = self._oldest + self.flush_interval - now
+                    until_quiet = self._latest + self.quiet_interval - now
+                    if self._closed:
+                        reason = "close"
+                    elif len(self._pending) >= self.max_batch:
+                        reason = "size"
+                    elif until_quiet <= 0:
+                        reason = "quiet"
+                    elif until_deadline <= 0:
+                        reason = "deadline"
+                    else:
+                        self._condition.wait(min(until_deadline, until_quiet))
+                        continue
+                    batch = self._pending
+                    self._pending = []
+                    return batch, reason
+                if self._closed:
+                    return [], None
+                self._condition.wait()
+
+    def _run(self) -> None:
+        while True:
+            batch, reason = self._take_batch()
+            if not batch:
+                return
+            with self._condition:
+                self._batches += 1
+                self._largest_batch = max(self._largest_batch, len(batch))
+                self._flushes[reason] += 1
+            try:
+                self._execute(batch)
+            except BaseException as error:  # noqa: BLE001 - fan out to callers
+                for request in batch:
+                    if not request.resolved:
+                        request.fail(error)
+            finally:
+                for request in batch:
+                    if not request.resolved:  # pragma: no cover - defensive
+                        request.fail(
+                            ServiceError(
+                                f"executor left {request.kind} request "
+                                f"{request.fingerprint[:12]} unresolved"
+                            )
+                        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Coalescing counters (requests vs batches) for ``stats()``."""
+        with self._condition:
+            return {
+                "submitted": self._submitted,
+                "batches": self._batches,
+                "largest_batch": self._largest_batch,
+                "pending": len(self._pending),
+                "flushes": dict(self._flushes),
+                "flush_interval": self.flush_interval,
+                "quiet_interval": self.quiet_interval,
+                "max_batch": self.max_batch,
+            }

@@ -1,0 +1,158 @@
+"""Thin Python client of the HTTP evaluation service.
+
+Stdlib-only (:mod:`urllib.request`); tasks are shipped in the on-disk JSON
+form of :mod:`repro.io.json_io`, so a :class:`~repro.core.task.DagTask`
+built locally and a task document loaded from a file are interchangeable.
+
+Typical use::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8181)
+    client.health()
+    makespan = client.simulate(task, cores=4)
+    bounds = client.analyse(task, cores=[2, 4, 8])
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterable, Optional, Union
+
+from ..core.exceptions import ServiceError
+from ..core.task import DagTask
+from ..io.json_io import task_to_dict
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous JSON client of :mod:`repro.service.http`.
+
+    Parameters
+    ----------
+    host, port:
+        Where the service listens; alternatively pass a full ``base_url``.
+    timeout:
+        Per-request socket timeout in seconds.  Exact-makespan requests can
+        legitimately run long -- size the timeout to the hardest instance
+        you intend to submit.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8181,
+        *,
+        timeout: float = 60.0,
+        base_url: Optional[str] = None,
+    ) -> None:
+        self.base_url = (base_url or f"http://{host}:{port}").rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, path: str, document: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if document is not None:
+            data = json.dumps(document).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error")
+            except Exception:  # noqa: BLE001 - no JSON body on the error
+                message = None
+            raise ServiceError(
+                message or f"service returned HTTP {error.code} for {path}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach evaluation service at {self.base_url}: {error.reason}"
+            ) from error
+
+    @staticmethod
+    def _task_document(task: Union[DagTask, dict]) -> dict:
+        return task_to_dict(task) if isinstance(task, DagTask) else dict(task)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness probe (``GET /health``)."""
+        return self._request("/health")
+
+    def stats(self) -> dict:
+        """Service counters (``GET /stats``)."""
+        return self._request("/stats")
+
+    def simulate(
+        self,
+        task: Union[DagTask, dict],
+        cores: int = 2,
+        accelerators: int = 1,
+        *,
+        policy: str = "breadth-first",
+        policy_seed: Optional[int] = None,
+        priorities: Optional[dict] = None,
+        offload_enabled: bool = True,
+    ) -> float:
+        """Makespan of one simulated execution (``POST /simulate``)."""
+        document = {
+            "task": self._task_document(task),
+            "cores": cores,
+            "accelerators": accelerators,
+            "policy": policy,
+            "offload_enabled": offload_enabled,
+        }
+        if policy_seed is not None:
+            document["policy_seed"] = policy_seed
+        if priorities is not None:
+            document["priorities"] = {
+                str(node): value for node, value in priorities.items()
+            }
+        return float(self._request("/simulate", document)["makespan"])
+
+    def analyse(
+        self,
+        task: Union[DagTask, dict],
+        cores: Union[int, Iterable[int]] = 2,
+        *,
+        include_naive: bool = True,
+    ) -> dict:
+        """Response-time bounds per core count (``POST /analyse``)."""
+        document = {
+            "task": self._task_document(task),
+            "cores": cores if isinstance(cores, int) else list(cores),
+            "include_naive": include_naive,
+        }
+        return self._request("/analyse", document)
+
+    def makespan(
+        self,
+        task: Union[DagTask, dict],
+        cores: int = 2,
+        accelerators: int = 1,
+        *,
+        method: str = "auto",
+        time_limit: Optional[float] = None,
+    ) -> dict:
+        """Exact minimum makespan + witness schedule (``POST /makespan``)."""
+        document = {
+            "task": self._task_document(task),
+            "cores": cores,
+            "accelerators": accelerators,
+            "method": method,
+        }
+        if time_limit is not None:
+            document["time_limit"] = time_limit
+        return self._request("/makespan", document)

@@ -1,0 +1,722 @@
+"""Synchronous in-process facade of the long-lived evaluation service.
+
+:class:`EvaluationService` turns the batched engines into a server-shaped
+API: callers submit one request at a time (typically from many threads --
+the HTTP transport of :mod:`repro.service.http` does exactly that) and the
+service amortises the work across them:
+
+``submit -> fingerprint -> cache -> in-flight dedupe -> micro-batch -> engine``
+
+1. the request is **fingerprinted** (:mod:`repro.service.fingerprint`);
+2. the **result cache** (:class:`~repro.service.cache.ResultCache`) is
+   consulted -- a hit returns a copy of the memoised payload without
+   touching any engine;
+3. an identical request already **in flight** is joined instead of being
+   recomputed (one evaluation serves every concurrent duplicate);
+4. otherwise the request is parked in the **micro-batching queue**
+   (:class:`~repro.service.batching.MicroBatcher`); a flush groups parked
+   requests by engine compatibility and serves each group with *one*
+   batched-engine call -- :func:`~repro.simulation.batch.simulate_many`,
+   :func:`~repro.analysis.batch.analyse_many` or
+   :func:`~repro.ilp.batch.minimum_makespans_many` -- so a burst of N
+   single-cell requests costs one vectorised-kernel batch, not N Python
+   event loops.
+
+Correctness contract
+--------------------
+Batched == sequential, bit for bit.  Every payload the service returns is
+exactly what a one-shot evaluation of the same request produces:
+
+* deterministic policies ride the PR-4 lockstep kernel, whose per-lane
+  results are independent of batch composition (hypothesis-enforced by
+  ``tests/test_vectorized_engine.py``), so coalescing cannot change them;
+* the stochastic ``random`` policy is the one family whose draws *would*
+  depend on batch composition -- the service therefore evaluates those
+  requests solo (one fresh seeded instance per request, dense engine), so
+  their answers equal the one-shot
+  :func:`~repro.simulation.engine.simulate_makespan` with the same seed;
+* analyses and exact-makespan oracles are deterministic per task.
+
+``tests/test_service.py`` locks the contract down end to end (threaded
+bursts vs sequential evaluation, cached vs uncached).
+
+Policies are accepted *declaratively* (name + optional seed + optional
+fixed-priority table), never as live instances: a live instance can carry
+consumed RNG state that no stable cache key could describe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Union
+
+from ..analysis.batch import TaskAnalysis, analyse_many
+from ..analysis.results import ResponseTimeResult
+from ..core.exceptions import ServiceClosedError
+from ..core.task import DagTask
+from ..ilp.batch import minimum_makespans_many
+from ..ilp.makespan import MakespanMethod, MakespanResult
+from ..simulation.batch import simulate_many
+from ..simulation.engine import simulate_makespan
+from ..simulation.platform import Platform
+from ..simulation.schedulers import (
+    _POLICIES,
+    FixedPriorityPolicy,
+    RandomPolicy,
+    SchedulingPolicy,
+    policy_by_name,
+)
+from .batching import BatchRequest, MicroBatcher
+from .cache import ResultCache
+from .fingerprint import (
+    platform_fingerprint,
+    policy_fingerprint,
+    request_fingerprint,
+    task_fingerprint,
+)
+
+__all__ = [
+    "EvaluationService",
+    "build_policy",
+    "simulation_payload",
+    "analysis_payload",
+    "makespan_payload",
+]
+
+
+# ----------------------------------------------------------------------
+# Declarative policy specs
+# ----------------------------------------------------------------------
+def build_policy(
+    name: str,
+    seed: Optional[int] = None,
+    priorities: Optional[dict] = None,
+) -> SchedulingPolicy:
+    """Instantiate a fresh policy from a declarative spec.
+
+    ``priorities`` is only meaningful for ``fixed-priority`` (an explicit
+    node -> priority table); ``seed`` only for ``random``.  Every request
+    evaluation builds a *fresh* instance, so stochastic policies replay the
+    same stream for the same spec -- the property that makes their results
+    cacheable at all.
+    """
+    if priorities is not None:
+        if name != FixedPriorityPolicy.name:
+            raise ValueError(
+                f"priorities are only supported by "
+                f"{FixedPriorityPolicy.name!r} policies, not {name!r}"
+            )
+        return FixedPriorityPolicy(priorities)
+    return policy_by_name(name, rng=seed)
+
+
+def _validate_policy_spec(
+    name: str, priorities: Optional[dict]
+) -> None:
+    """Reject malformed policy specs without instantiating a policy.
+
+    Runs on every submission -- including cache hits, whose per-request
+    cost bounds the service's warm throughput -- so it must stay a pair
+    of dictionary checks, not a :func:`build_policy` call (which would
+    build and discard a numpy ``Generator`` per ``random`` request).
+    """
+    if name not in _POLICIES:
+        valid = ", ".join(sorted(_POLICIES))
+        raise KeyError(f"unknown policy {name!r}; valid policies: {valid}")
+    if priorities is not None and name != FixedPriorityPolicy.name:
+        raise ValueError(
+            f"priorities are only supported by "
+            f"{FixedPriorityPolicy.name!r} policies, not {name!r}"
+        )
+
+
+def _as_platform(platform: Union[Platform, int]) -> Platform:
+    return platform if isinstance(platform, Platform) else Platform(platform)
+
+
+def _copy_payload(value):
+    """Structural copy of a JSON-style payload tree.
+
+    Payloads hold only dicts, lists and immutable scalars, so this beats
+    ``copy.deepcopy`` (which walks the generic dispatch machinery) on the
+    cache-hit fast path -- the path whose per-request cost bounds the warm
+    throughput of the whole service.
+    """
+    if isinstance(value, dict):
+        return {key: _copy_payload(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_payload(item) for item in value]
+    return value
+
+
+def _normalise_cores(cores: Union[int, Iterable[int]]) -> tuple[int, ...]:
+    if isinstance(cores, int):
+        return (cores,)
+    values = tuple(int(m) for m in cores)
+    if not values:
+        raise ValueError("at least one core count is required")
+    return values
+
+
+# ----------------------------------------------------------------------
+# JSON-style result payloads
+# ----------------------------------------------------------------------
+# Payloads are plain JSON trees so that the in-process facade, the result
+# cache and the HTTP transport all agree on one representation: a cached
+# in-process answer is byte-for-byte the document a remote client receives.
+def simulation_payload(makespan: float) -> dict:
+    """Payload of a ``simulate`` request."""
+    return {"makespan": float(makespan)}
+
+
+def _response_time_payload(result: ResponseTimeResult) -> dict:
+    return {
+        "bound": float(result.bound),
+        "method": result.method,
+        "scenario": result.scenario.value,
+        "terms": {str(key): float(value) for key, value in result.terms.items()},
+    }
+
+
+def analysis_payload(analysis: TaskAnalysis) -> dict:
+    """Payload of an ``analyse`` request (bounds per core count per method).
+
+    Task names are deliberately absent: the cache key excludes them (see
+    :func:`repro.service.fingerprint.task_fingerprint`), so the payload
+    must not depend on them either.
+    """
+    return {
+        "heterogeneous": analysis.transformed is not None,
+        "bounds": [
+            {
+                "cores": cores,
+                "methods": {
+                    method: _response_time_payload(result)
+                    for method, result in entry.items()
+                },
+            }
+            for cores, entry in analysis.results.items()
+        ],
+    }
+
+
+def makespan_payload(result: MakespanResult) -> dict:
+    """Payload of a ``makespan`` request (value + witness schedule)."""
+    return {
+        "makespan": float(result.makespan),
+        "optimal": bool(result.optimal),
+        "method": result.method.value,
+        "cores": result.cores,
+        "accelerators": result.accelerators,
+        "start_times": {
+            str(node): float(start) for node, start in result.start_times.items()
+        },
+        "engine_stats": {str(key): value for key, value in result.engine_stats.items()},
+    }
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class EvaluationService:
+    """Long-lived, cache-backed evaluation service over the batched engines.
+
+    Parameters
+    ----------
+    cache_bytes:
+        Byte cap of the fingerprint-keyed result store (``0`` disables
+        memoisation entirely -- every payload is rejected by the cap).
+    flush_interval:
+        Micro-batching hard deadline in seconds: the longest a request
+        waits for companions before its batch is flushed.
+    quiet_interval:
+        Quiescence flush window in seconds: a batch is flushed as soon as
+        no new request arrived for this long, so a back-to-back burst
+        coalesces fully while a lone request only pays one quiet window of
+        latency.
+    max_batch:
+        Pending-request count that triggers an immediate flush.
+    jobs:
+        Worker-process count forwarded to the batched engines (``None``
+        keeps them serial; the lockstep kernel usually saturates a core per
+        batch already).
+
+    Thread-safe: requests may be submitted from any number of threads;
+    :meth:`close` drains the queue before returning.  Usable as a context
+    manager.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_bytes: int = 64 * 1024 * 1024,
+        flush_interval: float = 0.05,
+        quiet_interval: float = 0.002,
+        max_batch: int = 512,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.cache = ResultCache(max_bytes=cache_bytes)
+        self._jobs = jobs
+        self._lock = threading.Lock()
+        self._inflight: dict[str, BatchRequest] = {}
+        self._requests = {"simulate": 0, "analyse": 0, "makespan": 0}
+        self._inflight_joins = 0
+        self._engine_batches = 0
+        self._evaluated_cells = 0
+        self._solo_evaluations = 0
+        self._closed = False
+        self._batcher = MicroBatcher(
+            self._execute_batch,
+            flush_interval=flush_interval,
+            quiet_interval=quiet_interval,
+            max_batch=max_batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Public request API
+    # ------------------------------------------------------------------
+    def submit_simulation(
+        self,
+        task: DagTask,
+        platform: Union[Platform, int] = 2,
+        *,
+        policy: str = "breadth-first",
+        policy_seed: Optional[int] = None,
+        priorities: Optional[dict] = None,
+        offload_enabled: bool = True,
+        timeout: Optional[float] = None,
+    ) -> float:
+        """Makespan of one simulated execution (batched behind the scenes).
+
+        Returns exactly ``simulate_makespan(task, platform,
+        build_policy(policy, policy_seed, priorities), offload_enabled)``
+        -- see the module docstring for why coalescing cannot change it.
+        """
+        platform = _as_platform(platform)
+        _validate_policy_spec(policy, priorities)
+        if policy == RandomPolicy.name:
+            if policy_seed is None:
+                # An unseeded random policy draws fresh OS entropy per
+                # evaluation; no stable fingerprint could describe it and a
+                # cached answer would be a lie.
+                raise ValueError(
+                    "random-policy requests require an explicit policy_seed "
+                    "(results are memoised and must be reproducible)"
+                )
+        else:
+            # Deterministic policies ignore the seed; normalising it keeps
+            # byte-identical computations on one cache entry / batch group.
+            policy_seed = None
+        policy_fp = policy_fingerprint(policy, policy_seed, priorities)
+        task_fp = task_fingerprint(task)
+        fingerprint = request_fingerprint(
+            "simulate",
+            task_fp,
+            platform_fingerprint(platform),
+            policy_fp,
+            bool(offload_enabled),
+        )
+        # The stochastic family consumes an RNG stream across the cells of a
+        # batch, so only a solo evaluation matches the one-shot semantics.
+        # Deterministic policies group across *platforms* too: a flush
+        # covering a sweep-shaped burst (every task at every host size)
+        # becomes one task x platform grid for the lockstep kernel.
+        solo = policy == RandomPolicy.name
+        payload = self._submit(
+            kind="simulate",
+            fingerprint=fingerprint,
+            group_key=(policy_fp, bool(offload_enabled), solo),
+            task=task,
+            params={
+                "platform": platform,
+                "task_fp": task_fp,
+                "policy": policy,
+                "policy_seed": policy_seed,
+                "priorities": priorities,
+                "offload_enabled": bool(offload_enabled),
+                "solo": solo,
+            },
+            timeout=timeout,
+        )
+        return payload["makespan"]
+
+    def submit_analysis(
+        self,
+        task: DagTask,
+        cores: Union[int, Iterable[int]] = 2,
+        *,
+        include_naive: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Response-time bounds of ``task`` for every requested core count."""
+        core_counts = _normalise_cores(cores)
+        fingerprint = request_fingerprint(
+            "analyse", task_fingerprint(task), list(core_counts), bool(include_naive)
+        )
+        return self._submit(
+            kind="analyse",
+            fingerprint=fingerprint,
+            group_key=(core_counts, bool(include_naive)),
+            task=task,
+            params={"cores": core_counts, "include_naive": bool(include_naive)},
+            timeout=timeout,
+        )
+
+    def submit_makespan(
+        self,
+        task: DagTask,
+        cores: int = 2,
+        *,
+        accelerators: int = 1,
+        method: str = "auto",
+        time_limit: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Exact minimum makespan via the batched, memoised oracle layer."""
+        method_value = MakespanMethod(method).value  # validate early
+        fingerprint = request_fingerprint(
+            "makespan",
+            task_fingerprint(task),
+            int(cores),
+            int(accelerators),
+            method_value,
+            time_limit,
+        )
+        return self._submit(
+            kind="makespan",
+            fingerprint=fingerprint,
+            group_key=(int(cores), int(accelerators), method_value, time_limit),
+            task=task,
+            params={
+                "cores": int(cores),
+                "accelerators": int(accelerators),
+                "method": method_value,
+                "time_limit": time_limit,
+            },
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Refuse new requests and drain every in-flight one.
+
+        Idempotent; after it returns, every previously submitted request
+        has been resolved and further submissions raise
+        :class:`~repro.core.exceptions.ServiceClosedError`.
+        """
+        with self._lock:
+            self._closed = True
+        self._batcher.close(timeout)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Service-wide counters: requests, cache, batching, engine calls.
+
+        ``batching.batches`` vs ``requests.total`` is the coalescing proof
+        the acceptance tests assert on (batches << requests under a burst);
+        ``cache`` carries the hit/miss/eviction counters of the result
+        store.
+        """
+        with self._lock:
+            requests = dict(self._requests)
+            requests["total"] = sum(self._requests.values())
+            engine = {
+                "batches": self._engine_batches,
+                "evaluated_cells": self._evaluated_cells,
+                "solo_evaluations": self._solo_evaluations,
+                "inflight_joins": self._inflight_joins,
+            }
+        return {
+            "requests": requests,
+            "cache": self.cache.stats(),
+            "batching": self._batcher.stats(),
+            "engine": engine,
+            "jobs": self._jobs,
+            "closed": self.closed,
+        }
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _submit(
+        self,
+        kind: str,
+        fingerprint: str,
+        group_key: tuple,
+        task: DagTask,
+        params: dict,
+        timeout: Optional[float],
+    ) -> dict:
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    "evaluation service is closed; no further requests accepted"
+                )
+            self._requests[kind] += 1
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return _copy_payload(cached)
+        with self._lock:
+            leader = self._inflight.get(fingerprint)
+            if leader is None:
+                request = BatchRequest(
+                    kind=kind,
+                    fingerprint=fingerprint,
+                    group_key=group_key,
+                    task=task,
+                    params=params,
+                )
+                self._inflight[fingerprint] = request
+            else:
+                self._inflight_joins += 1
+        if leader is not None:
+            return _copy_payload(leader.wait(timeout))
+        try:
+            self._batcher.submit(request)
+        except BaseException as error:
+            # Fail the request before retiring it: concurrent duplicates may
+            # already be parked on its event and would otherwise wait forever.
+            request.fail(error)
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+            raise
+        return _copy_payload(request.wait(timeout))
+
+    def _finish(self, request: BatchRequest, payload: dict) -> None:
+        """Cache, resolve and retire one served request (in that order)."""
+        self.cache.put(request.fingerprint, payload)
+        request.resolve(payload)
+        with self._lock:
+            self._inflight.pop(request.fingerprint, None)
+
+    def _abort(self, request: BatchRequest, error: BaseException) -> None:
+        request.fail(error)
+        with self._lock:
+            self._inflight.pop(request.fingerprint, None)
+
+    # ------------------------------------------------------------------
+    # Batch execution (runs on the batcher worker thread)
+    # ------------------------------------------------------------------
+    def _execute_batch(self, batch: list[BatchRequest]) -> None:
+        # Every failure path must run through _abort: a request failed
+        # without retiring its in-flight entry would poison its fingerprint
+        # (later identical requests would join the stale failed leader
+        # forever).  The batcher's own defensive net cannot do that -- it
+        # has no access to the in-flight table -- so nothing may escape
+        # this method with requests unresolved.
+        try:
+            # Requests that raced with an insertion of the same fingerprint
+            # (cache filled between the miss and the flush) resolve
+            # instantly.
+            work: list[BatchRequest] = []
+            for request in batch:
+                cached = self.cache.peek(request.fingerprint)
+                if cached is not None:
+                    self._finish(request, cached)
+                else:
+                    work.append(request)
+            groups: dict[tuple, list[BatchRequest]] = {}
+            for request in work:
+                groups.setdefault((request.kind, request.group_key), []).append(
+                    request
+                )
+            for (kind, _), requests in groups.items():
+                try:
+                    if kind == "simulate":
+                        self._run_simulation_group(requests)
+                    elif kind == "analyse":
+                        self._run_analysis_group(requests)
+                    else:
+                        self._run_makespan_group(requests)
+                except BaseException:  # noqa: BLE001 - isolate per request
+                    # One bad request (or an infeasible *unrequested* grid
+                    # cell) must not fail its coalesced group-mates: fall
+                    # back to sequential per-request evaluation -- exactly
+                    # the semantics the batch is contracted to reproduce --
+                    # so only genuinely failing requests error.
+                    self._run_group_solo(requests)
+        except BaseException as error:  # noqa: BLE001 - fan out whole batch
+            for request in batch:
+                if not request.resolved:
+                    self._abort(request, error)
+
+    def _run_group_solo(self, requests: list[BatchRequest]) -> None:
+        """Serve each unresolved request of a failed group individually."""
+        for request in requests:
+            if request.resolved:
+                continue
+            params = request.params
+            try:
+                if request.kind == "simulate":
+                    policy = build_policy(
+                        params["policy"], params["policy_seed"], params["priorities"]
+                    )
+                    payload = simulation_payload(
+                        simulate_makespan(
+                            request.task,
+                            params["platform"],
+                            policy,
+                            params["offload_enabled"],
+                        )
+                    )
+                elif request.kind == "analyse":
+                    payload = analysis_payload(
+                        analyse_many(
+                            [request.task],
+                            cores=params["cores"],
+                            include_naive=params["include_naive"],
+                        )[0]
+                    )
+                else:
+                    payload = makespan_payload(
+                        minimum_makespans_many(
+                            [request.task],
+                            cores=params["cores"],
+                            accelerators=params["accelerators"],
+                            method=MakespanMethod(params["method"]),
+                            time_limit=params["time_limit"],
+                        )[0]
+                    )
+                self._count_engine_call(1, solo=True)
+                self._finish(request, payload)
+            except BaseException as error:  # noqa: BLE001 - this request only
+                self._abort(request, error)
+
+    def _count_engine_call(self, cells: int, solo: bool = False) -> None:
+        with self._lock:
+            self._engine_batches += 1
+            self._evaluated_cells += cells
+            if solo:
+                self._solo_evaluations += 1
+
+    #: Minimum lane count (tasks x platforms) at which a simulation group
+    #: runs through the vectorised lockstep kernel.  The kernel's cost is
+    #: per *step* and amortises over lanes: below a few hundred lanes the
+    #: per-cell dense engine is faster (see ``BENCH_PR5.json``); both
+    #: engines are bit-identical by contract, so the switch is purely a
+    #: performance decision.
+    VECTOR_MIN_LANES = 192
+
+    #: A grid call may evaluate at most this factor more cells than were
+    #: actually requested before the group falls back to per-platform
+    #: sub-grids (which are dense by construction).
+    _GRID_WASTE_LIMIT = 2.0
+
+    def _run_simulation_group(self, requests: list[BatchRequest]) -> None:
+        params = requests[0].params
+        offload_enabled = params["offload_enabled"]
+        if params["solo"]:
+            # Stochastic policies: fresh instance per request, one cell per
+            # evaluation -- batch composition must not influence the draws.
+            for request in requests:
+                spec = request.params
+                policy = build_policy(
+                    spec["policy"], spec["policy_seed"], spec["priorities"]
+                )
+                value = simulate_makespan(
+                    request.task, spec["platform"], policy, offload_enabled
+                )
+                self._count_engine_call(1, solo=True)
+                self._finish(request, simulation_payload(value))
+            return
+        # Assemble the task x platform grid of the flush.  Requests are
+        # unique by fingerprint (in-flight dedupe), so within one platform
+        # every task appears at most once; a sweep-shaped burst (each task
+        # requested at every host size) forms an exactly dense grid.
+        tasks: list[DagTask] = []
+        task_rows: dict[str, int] = {}
+        platforms: list[Platform] = []
+        platform_cols: dict[Platform, int] = {}
+        cells: list[tuple[BatchRequest, int, int]] = []
+        for request in requests:
+            task_key = request.params["task_fp"]
+            row = task_rows.get(task_key)
+            if row is None:
+                row = task_rows[task_key] = len(tasks)
+                tasks.append(request.task)
+            platform = request.params["platform"]
+            col = platform_cols.get(platform)
+            if col is None:
+                col = platform_cols[platform] = len(platforms)
+                platforms.append(platform)
+            cells.append((request, row, col))
+        if len(tasks) * len(platforms) > self._GRID_WASTE_LIMIT * len(requests):
+            # Sparse grid: evaluating it would waste more cells than it
+            # coalesces.  Split by platform -- each sub-grid is dense.
+            by_platform: dict[Platform, list[BatchRequest]] = {}
+            for request, _, _ in cells:
+                by_platform.setdefault(request.params["platform"], []).append(
+                    request
+                )
+            for platform, subset in by_platform.items():
+                self._run_simulation_grid(
+                    [request.task for request in subset],
+                    [platform],
+                    subset,
+                    [(request, row, 0) for row, request in enumerate(subset)],
+                )
+            return
+        self._run_simulation_grid(tasks, platforms, requests, cells)
+
+    def _run_simulation_grid(
+        self,
+        tasks: list[DagTask],
+        platforms: list[Platform],
+        requests: list[BatchRequest],
+        cells: list[tuple[BatchRequest, int, int]],
+    ) -> None:
+        params = requests[0].params
+        policy = build_policy(
+            params["policy"], params["policy_seed"], params["priorities"]
+        )
+        lanes = len(tasks) * len(platforms)
+        engine = "auto" if lanes >= self.VECTOR_MIN_LANES else "dense"
+        grid = simulate_many(
+            tasks,
+            platforms,
+            policy,
+            offload_enabled=params["offload_enabled"],
+            jobs=self._jobs,
+            engine=engine,
+        )
+        self._count_engine_call(lanes)
+        for request, row, col in cells:
+            self._finish(request, simulation_payload(grid[row, col, 0]))
+
+    def _run_analysis_group(self, requests: list[BatchRequest]) -> None:
+        params = requests[0].params
+        analyses = analyse_many(
+            [request.task for request in requests],
+            cores=params["cores"],
+            include_naive=params["include_naive"],
+            jobs=self._jobs,
+        )
+        self._count_engine_call(len(requests))
+        for request, analysis in zip(requests, analyses):
+            self._finish(request, analysis_payload(analysis))
+
+    def _run_makespan_group(self, requests: list[BatchRequest]) -> None:
+        params = requests[0].params
+        results = minimum_makespans_many(
+            [request.task for request in requests],
+            cores=params["cores"],
+            accelerators=params["accelerators"],
+            method=MakespanMethod(params["method"]),
+            time_limit=params["time_limit"],
+            jobs=self._jobs,
+        )
+        self._count_engine_call(len(requests))
+        for request, result in zip(requests, results):
+            self._finish(request, makespan_payload(result))

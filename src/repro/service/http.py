@@ -1,0 +1,345 @@
+"""Stdlib-only HTTP/JSON transport of the evaluation service.
+
+A thin :mod:`http.server` facade over
+:class:`~repro.service.facade.EvaluationService` -- no third-party web
+framework, matching the repository's no-new-dependencies rule.  Tasks cross
+the wire in the exact on-disk JSON form of :mod:`repro.io.json_io`
+(``task_to_dict`` / ``task_from_dict``), so anything that can author a task
+file can talk to the service.
+
+Endpoints
+---------
+``GET  /health``    liveness probe (status, version, uptime seconds)
+``GET  /stats``     the service's :meth:`~EvaluationService.stats` document
+``POST /simulate``  ``{"task": <task>, "cores": m, "accelerators": a,
+                    "policy": name, "policy_seed": s, "priorities": {...},
+                    "offload_enabled": true}`` -> ``{"makespan": ...}``
+``POST /analyse``   ``{"task": <task>, "cores": m | [m...],
+                    "include_naive": true}`` -> bounds payload
+``POST /makespan``  ``{"task": <task>, "cores": m, "accelerators": a,
+                    "method": "auto"|"ilp"|"bnb", "time_limit": t}``
+                    -> makespan payload with the witness schedule
+
+Requests are served by :class:`http.server.ThreadingHTTPServer` -- one
+thread per connection, all funnelling into the shared service, which is
+exactly the concurrency shape the micro-batcher coalesces.
+
+``python -m repro serve`` (and the ``repro-serve`` console script, both
+routed through :func:`main`) run this transport as a long-lived process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..core.exceptions import ReproError, ServiceClosedError, ServiceError
+from ..io.json_io import task_from_dict
+from ..simulation.platform import Platform
+from .facade import EvaluationService
+
+__all__ = [
+    "ServiceHTTPServer",
+    "start_server",
+    "add_serve_arguments",
+    "serve_from_args",
+    "main",
+]
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the shared :class:`EvaluationService`."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request stderr logging (the service keeps counters)."""
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_document(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length) if length else b""
+        if not body:
+            raise ValueError("request body is empty; expected a JSON document")
+        try:
+            document = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"invalid JSON body: {error}") from error
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
+
+    def _task_of(self, document: dict):
+        if "task" not in document:
+            raise ValueError("request document is missing the 'task' object")
+        return task_from_dict(document["task"])
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/health":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "service": "repro-evaluation-service",
+                    "uptime_s": time.monotonic() - self.server.started_at,
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, self.server.service.stats())
+        else:
+            self._send_json(
+                404,
+                {
+                    "error": f"unknown path {self.path!r}",
+                    "endpoints": [
+                        "GET /health",
+                        "GET /stats",
+                        "POST /simulate",
+                        "POST /analyse",
+                        "POST /makespan",
+                    ],
+                },
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        try:
+            document = self._read_document()
+            if self.path == "/simulate":
+                makespan = service.submit_simulation(
+                    self._task_of(document),
+                    _platform_of(document),
+                    policy=document.get("policy", "breadth-first"),
+                    policy_seed=document.get("policy_seed"),
+                    priorities=document.get("priorities"),
+                    offload_enabled=document.get("offload_enabled", True),
+                )
+                self._send_json(200, {"makespan": makespan})
+            elif self.path == "/analyse":
+                payload = service.submit_analysis(
+                    self._task_of(document),
+                    document.get("cores", 2),
+                    include_naive=document.get("include_naive", True),
+                )
+                self._send_json(200, payload)
+            elif self.path == "/makespan":
+                payload = service.submit_makespan(
+                    self._task_of(document),
+                    document.get("cores", 2),
+                    accelerators=document.get("accelerators", 1),
+                    method=document.get("method", "auto"),
+                    time_limit=document.get("time_limit"),
+                )
+                self._send_json(200, payload)
+            else:
+                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+        except ServiceClosedError as error:
+            self._send_json(503, {"error": str(error)})
+        except ServiceError as error:
+            # Server-side faults (batch-wait timeout, the batcher's
+            # defensive unresolved-request net): not the client's doing.
+            self._send_json(500, {"error": str(error)})
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            self._send_json(400, {"error": str(message)})
+        except Exception as error:  # noqa: BLE001 - report, don't kill the thread
+            self._send_json(500, {"error": f"internal error: {error}"})
+
+
+def _platform_of(document: dict) -> Platform:
+    return Platform(
+        host_cores=document.get("cores", 2),
+        accelerators=document.get("accelerators", 1),
+    )
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one evaluation service.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction.  The server does **not** own the service -- callers close
+    the service themselves (see :func:`serve_from_args` for the standard
+    shutdown order: stop accepting connections, then drain the service).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: EvaluationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.started_at = time.monotonic()
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def port(self) -> int:
+        """The actually bound TCP port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+
+def start_server(
+    service: EvaluationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[ServiceHTTPServer, threading.Thread]:
+    """Start a server thread for in-process use (tests, examples).
+
+    Returns the bound server and its (daemon) serving thread; call
+    ``server.shutdown(); server.server_close()`` to stop it.
+    """
+    server = ServiceHTTPServer(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+# ----------------------------------------------------------------------
+# Command-line entry point (``repro serve`` / ``repro-serve``)
+# ----------------------------------------------------------------------
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the serving flags shared by ``repro serve`` and ``repro-serve``."""
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8181, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes forwarded to the batched engines "
+        "(default: serial; -1 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="byte cap of the fingerprint-keyed result cache (0 disables)",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.05,
+        help="micro-batching hard deadline in seconds",
+    )
+    parser.add_argument(
+        "--quiet-interval",
+        type=float,
+        default=0.002,
+        help="flush as soon as no new request arrived for this many seconds",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        help="pending-request count that triggers an immediate flush",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening "
+        "(for scripts using --port 0)",
+    )
+
+
+def serve_from_args(args: argparse.Namespace) -> int:
+    """Run the HTTP service until interrupted; returns the exit code."""
+    try:
+        service = EvaluationService(
+            cache_bytes=args.cache_bytes,
+            flush_interval=args.flush_interval,
+            quiet_interval=args.quiet_interval,
+            max_batch=args.max_batch,
+            jobs=args.jobs,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    except OSError as error:
+        service.close()
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    # A backgrounded child of a non-interactive shell inherits SIGINT as
+    # ignored (POSIX async-list rule) and CPython then never installs the
+    # KeyboardInterrupt handler -- ``kill -INT`` would be silently dropped.
+    # Install explicit handlers so SIGINT/SIGTERM always trigger the
+    # graceful drain below (signal.signal only works in the main thread;
+    # embedded callers use start_server/shutdown instead).
+    def _interrupt(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGINT, _interrupt)
+        signal.signal(signal.SIGTERM, _interrupt)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
+    print(
+        f"repro evaluation service listening on http://{args.host}:{server.port} "
+        f"(cache {args.cache_bytes} bytes, flush {args.flush_interval * 1000:g} ms, "
+        f"max batch {args.max_batch})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight requests)...", flush=True)
+    finally:
+        server.server_close()
+        service.close()
+    stats = service.stats()
+    print(
+        f"served {stats['requests']['total']} requests in "
+        f"{stats['batching']['batches']} batches "
+        f"({stats['cache']['hits']} cache hits)",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone console entry point (``repro-serve``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Long-lived HTTP evaluation service over the batched "
+        "simulation / analysis / exact-makespan engines",
+    )
+    add_serve_arguments(parser)
+    return serve_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

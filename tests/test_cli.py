@@ -27,9 +27,11 @@ class TestParser:
             ["analyse", "task.json", "-m", "4"],
             ["transform", "task.json"],
             ["simulate", "task.json", "--policy", "depth-first"],
+            ["simulate", "task.json", "--gantt"],
             ["makespan", "task.json", "--method", "bnb"],
             ["generate", "-o", "out", "--count", "2"],
             ["experiment", "figure9", "--scale", "quick"],
+            ["serve", "--port", "0", "--max-batch", "8"],
         ):
             namespace = parser.parse_args(args)
             assert callable(namespace.func)
@@ -63,11 +65,27 @@ class TestCommands:
         assert main(["transform", task_file, "-o", str(output)]) == 0
         assert output.read_text().startswith("digraph")
 
-    def test_simulate(self, task_file, capsys):
+    def test_simulate_fast_path_is_default(self, task_file, capsys):
+        # The default route goes through the batched simulate_many fast
+        # path: same makespan as the reference engine, no Gantt chart.
         assert main(["simulate", task_file, "-m", "2"]) == 0
         output = capsys.readouterr().out
-        assert "makespan" in output
+        assert "makespan" in output and "= 12" in output
+        assert "core0" not in output
+
+    def test_simulate_gantt(self, task_file, capsys):
+        assert main(["simulate", task_file, "-m", "2", "--gantt"]) == 0
+        output = capsys.readouterr().out
+        assert "makespan" in output and "= 12" in output
         assert "core0" in output
+
+    def test_simulate_seeded_random_policy(self, task_file, capsys):
+        assert (
+            main(["simulate", task_file, "-m", "2", "--policy", "random",
+                  "--seed", "7"])
+            == 0
+        )
+        assert "makespan" in capsys.readouterr().out
 
     def test_simulate_transformed(self, task_file, capsys):
         assert main(["simulate", task_file, "-m", "2", "--transformed"]) == 0
@@ -128,3 +146,20 @@ class TestCommands:
     def test_experiment_quick_figure9(self, capsys):
         assert main(["experiment", "figure9", "--dags", "3", "--seed", "1"]) == 0
         assert "m=2" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_flush_intervals(self, capsys):
+        # quiet_interval defaults to 0.002 and must not exceed the deadline.
+        assert main(["serve", "--port", "0", "--flush-interval", "0.0001"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_reports_bind_failures(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        try:
+            assert main(["serve", "--port", str(port)]) == 1
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.close()

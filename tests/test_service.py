@@ -1,0 +1,754 @@
+"""Tests of the long-lived evaluation service (:mod:`repro.service`, PR 5).
+
+Covers the acceptance criteria of the serving layer:
+
+* fingerprint stability (node-ordering permutations, pickle round trips)
+  and sensitivity (any behavioural change alters the hash);
+* LRU byte-cap eviction with hit/miss/eviction counters;
+* micro-batcher coalescing, drain-on-close and failure fan-out;
+* a threaded burst of >= 100 mixed simulate/analyse requests returning
+  **bit-identical** results to sequential single-cell evaluation, with
+  ``stats()`` proving coalescing (batches << requests) and a second
+  identical burst served >= 10x faster from the cache;
+* HTTP round trips through the ``json_io`` payloads on an ephemeral port;
+* a hypothesis property: cached and uncached answers always agree.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.batch import analyse_many
+from repro.core.examples import figure1_task
+from repro.core.exceptions import ServiceClosedError, ServiceError
+from repro.core.task import DagTask
+from repro.ilp.makespan import minimum_makespan
+from repro.service import (
+    BatchRequest,
+    EvaluationService,
+    MicroBatcher,
+    ResultCache,
+    ServiceClient,
+    analysis_payload,
+    makespan_payload,
+    platform_fingerprint,
+    policy_fingerprint,
+    request_fingerprint,
+    start_server,
+    task_fingerprint,
+)
+from repro.service.cache import estimate_size
+from repro.simulation.engine import simulate_makespan
+from repro.simulation.platform import Platform
+from repro.simulation.schedulers import RandomPolicy, policy_by_name
+
+from strategies import make_random_heterogeneous_task
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+FAST_BATCHING = dict(flush_interval=0.05, quiet_interval=0.001)
+
+
+def permuted_copy(task: DagTask) -> DagTask:
+    """Rebuild ``task`` with reversed node/edge insertion order."""
+    graph = task.graph
+    wcets = {node: graph.wcet(node) for node in reversed(graph.nodes())}
+    edges = list(reversed(graph.edges()))
+    clone = DagTask.from_wcets(
+        wcets,
+        edges,
+        offloaded_node=task.offloaded_node,
+        period=task.period,
+        deadline=task.deadline,
+        name="permuted-" + task.name,
+    )
+    return clone
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_node_ordering_permutation_hashes_equal(self):
+        task = figure1_task(period=20, deadline=15)
+        clone = permuted_copy(task)
+        assert list(clone.graph.nodes()) != list(task.graph.nodes())
+        assert task_fingerprint(clone) == task_fingerprint(task)
+        assert clone.compiled().fingerprint() == task.compiled().fingerprint()
+
+    @given(seed=st.integers(0, 2**20), fraction=st.sampled_from([0.05, 0.2, 0.5]))
+    @settings(max_examples=20, deadline=None)
+    def test_random_tasks_permutation_stable(self, seed, fraction):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        assert task_fingerprint(permuted_copy(task)) == task_fingerprint(task)
+
+    def test_pickle_round_trip_stable(self):
+        task = make_random_heterogeneous_task(7, 0.2)
+        clone = pickle.loads(pickle.dumps(task))
+        assert task_fingerprint(clone) == task_fingerprint(task)
+        compiled = pickle.loads(pickle.dumps(task.compiled()))
+        assert compiled.fingerprint() == task.compiled().fingerprint()
+
+    def test_name_and_metadata_are_ignored(self):
+        task = make_random_heterogeneous_task(3, 0.2)
+        renamed = task.copy()
+        renamed.name = "other"
+        renamed.metadata["note"] = "ignored"
+        assert task_fingerprint(renamed) == task_fingerprint(task)
+
+    def test_behavioural_changes_alter_the_hash(self):
+        task = make_random_heterogeneous_task(11, 0.2)
+        fingerprint = task_fingerprint(task)
+        assert task_fingerprint(task.with_offloaded_wcet(task.offloaded_wcet + 1)) \
+            != fingerprint
+        assert task_fingerprint(task.as_homogeneous()) != fingerprint
+        other_offload = next(
+            node for node in task.graph.nodes() if node != task.offloaded_node
+        )
+        assert task_fingerprint(task.with_offloaded_node(other_offload)) \
+            != fingerprint
+        retimed = task.copy()
+        retimed.period = (task.period or 0) + 1000
+        retimed.deadline = retimed.period
+        assert task_fingerprint(retimed) != fingerprint
+
+    def test_platform_and_policy_fingerprints(self):
+        assert platform_fingerprint(4) == platform_fingerprint(Platform(4, 1))
+        assert platform_fingerprint(Platform(4, 2)) != platform_fingerprint(4)
+        assert policy_fingerprint("random", 1) != policy_fingerprint("random", 2)
+        assert policy_fingerprint("breadth-first") != policy_fingerprint(
+            "depth-first"
+        )
+        assert policy_fingerprint("fixed-priority", None, {"a": 1.0, "b": 2.0}) \
+            == policy_fingerprint("fixed-priority", None, {"b": 2.0, "a": 1.0})
+        # Keys are looked up by raw identity by FixedPriorityPolicy, so an
+        # int-keyed and a str-keyed table are different specs.
+        assert policy_fingerprint("fixed-priority", None, {3: 0.0}) \
+            != policy_fingerprint("fixed-priority", None, {"3": 0.0})
+
+    def test_request_fingerprint_separates_kinds(self):
+        task_fp = task_fingerprint(figure1_task())
+        assert request_fingerprint("simulate", task_fp, 2) != request_fingerprint(
+            "analyse", task_fp, 2
+        )
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_lru_byte_cap_eviction_order(self):
+        payload = {"makespan": 1.0}
+        entry = estimate_size("k0") + estimate_size(payload) + 128
+        cache = ResultCache(max_bytes=entry * 3)
+        for key in ("k0", "k1", "k2"):
+            assert cache.put(key, dict(payload))
+        assert cache.get("k0") is not None  # refresh k0: k1 becomes LRU
+        cache.put("k3", dict(payload))
+        assert "k1" not in cache and "k0" in cache
+        assert "k2" in cache and "k3" in cache
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["entries"] == 3
+        assert stats["bytes"] <= cache.max_bytes
+
+    def test_oversized_entry_rejected(self):
+        cache = ResultCache(max_bytes=256)
+        assert not cache.put("huge", "x" * 10_000)
+        assert cache.stats()["rejected"] == 1
+        assert len(cache) == 0
+
+    def test_replacement_does_not_leak_bytes(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        cache.put("key", {"makespan": 1.0})
+        before = cache.bytes_used
+        for _ in range(10):
+            cache.put("key", {"makespan": 2.0})
+        assert cache.bytes_used == before
+        assert cache.get("key") == {"makespan": 2.0}
+
+    def test_hit_miss_counters_and_peek(self):
+        cache = ResultCache()
+        assert cache.get("absent") is None
+        cache.put("key", 1)
+        assert cache.get("key") == 1
+        assert cache.peek("key") == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_threaded_access_is_safe(self):
+        cache = ResultCache(max_bytes=1 << 16)
+
+        def worker(base: int) -> None:
+            for i in range(200):
+                cache.put(f"k{base}-{i % 17}", {"value": i})
+                cache.get(f"k{base}-{(i + 3) % 17}")
+
+        threads = [threading.Thread(target=worker, args=(b,)) for b in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.bytes_used <= cache.max_bytes
+
+
+# ----------------------------------------------------------------------
+# Micro-batcher
+# ----------------------------------------------------------------------
+def _request(index: int) -> BatchRequest:
+    return BatchRequest(
+        kind="simulate",
+        fingerprint=f"request-{index}",
+        group_key=("group",),
+        task=None,
+        params={},
+    )
+
+
+class TestMicroBatcher:
+    def test_burst_coalesces_into_few_batches(self):
+        def execute(batch):
+            time.sleep(0.005)
+            for request in batch:
+                request.resolve(len(batch))
+
+        batcher = MicroBatcher(execute, **FAST_BATCHING)
+        requests = [_request(i) for i in range(60)]
+        with ThreadPoolExecutor(30) as pool:
+            sizes = list(
+                pool.map(lambda r: batcher.submit(r).wait(timeout=30), requests)
+            )
+        stats = batcher.stats()
+        batcher.close()
+        assert stats["submitted"] == 60
+        assert stats["batches"] < 20  # batches << requests
+        assert max(sizes) == stats["largest_batch"] > 1
+
+    def test_executor_failure_fans_out(self):
+        def execute(batch):
+            raise RuntimeError("engine exploded")
+
+        batcher = MicroBatcher(execute, **FAST_BATCHING)
+        request = batcher.submit(_request(0))
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            request.wait(timeout=30)
+        batcher.close()
+
+    def test_unresolved_requests_fail_defensively(self):
+        def execute(batch):
+            batch[0].resolve("served")  # forget the rest
+
+        batcher = MicroBatcher(execute, **FAST_BATCHING)
+        first = batcher.submit(_request(0))
+        second = batcher.submit(_request(1))
+        assert first.wait(timeout=30) == "served"
+        with pytest.raises(ServiceError, match="unresolved"):
+            second.wait(timeout=30)
+        batcher.close()
+
+    def test_close_drains_pending_requests(self):
+        served: list[str] = []
+
+        def execute(batch):
+            for request in batch:
+                served.append(request.fingerprint)
+                request.resolve(True)
+
+        # Long quiet/deadline windows: the requests are still parked when
+        # close() runs, so the drain path must serve them.
+        batcher = MicroBatcher(execute, flush_interval=30.0, quiet_interval=10.0)
+        requests = [batcher.submit(_request(i)) for i in range(10)]
+        assert batcher.stats()["pending"] == 10
+        batcher.close(timeout=30)
+        assert all(request.wait(timeout=1) for request in requests)
+        assert len(served) == 10
+        assert batcher.stats()["flushes"]["close"] == 1
+        with pytest.raises(ServiceClosedError):
+            batcher.submit(_request(99))
+
+    def test_lone_request_flushes_on_quiet_not_deadline(self):
+        def execute(batch):
+            for request in batch:
+                request.resolve(True)
+
+        batcher = MicroBatcher(execute, flush_interval=30.0, quiet_interval=0.002)
+        start = time.perf_counter()
+        assert batcher.submit(_request(0)).wait(timeout=30)
+        elapsed = time.perf_counter() - start
+        batcher.close()
+        assert elapsed < 5.0  # quiet trigger, not the 30 s deadline
+
+
+# ----------------------------------------------------------------------
+# Evaluation service: the acceptance burst
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def burst_workload():
+    """>= 100 mixed simulate/analyse requests over fresh (cold-cache) tasks.
+
+    The sequential reference is computed *by the test, after* the service's
+    cold burst: evaluating it first would warm the shared graph/transform
+    caches and flatten the cold-vs-cached timing comparison the acceptance
+    criterion asserts on.  (Values are cache-state-independent either way.)
+    """
+    import numpy as np
+
+    from repro.generator.config import GeneratorConfig, OffloadConfig
+    from repro.generator.offload import make_heterogeneous
+    from repro.generator.random_dag import DagStructureGenerator
+
+    # Uniformly large, dense DAGs (the paper's upper range): the cold burst
+    # must do real engine work for the >= 10x cached-speedup assertion to
+    # have headroom on noisy CI runners.
+    config = GeneratorConfig(
+        p_par=0.8, n_par=6, max_depth=5, n_min=150, n_max=250, c_min=1, c_max=100
+    )
+    tasks = []
+    for seed in range(40):
+        rng = np.random.default_rng(seed)
+        task = DagStructureGenerator(config, rng).generate_task()
+        tasks.append(
+            make_heterogeneous(task, OffloadConfig(), rng, target_fraction=0.2)
+        )
+    requests = []
+    for task in tasks:
+        # Each request carries its *own* task object (``task.copy()`` drops
+        # the graph caches), the shape an HTTP client produces -- every
+        # request parses its own document.  The service must still dedupe
+        # and cache across them: fingerprints are content hashes, not
+        # object identities.
+        for cores in (2, 8):
+            requests.append(("simulate", task.copy(), cores))
+        requests.append(("analyse", task.copy(), (2, 4, 8, 16)))
+        requests.append(("analyse", task.copy(), (3,)))
+    assert len(requests) >= 100
+    return requests
+
+
+def _sequential_reference(requests) -> list:
+    reference = []
+    for kind, task, arg in requests:
+        if kind == "simulate":
+            reference.append(
+                simulate_makespan(
+                    task, Platform(arg), policy_by_name("breadth-first")
+                )
+            )
+        else:
+            reference.append(analysis_payload(analyse_many([task], arg)[0]))
+    return reference
+
+
+def _fire_burst(service: EvaluationService, requests, pool) -> list:
+    def one(entry):
+        kind, task, arg = entry
+        if kind == "simulate":
+            return service.submit_simulation(task, arg, timeout=120)
+        return service.submit_analysis(task, arg, timeout=120)
+
+    return list(pool.map(one, requests))
+
+
+class TestEvaluationServiceBurst:
+    def test_threaded_burst_matches_sequential_and_caches(self, burst_workload):
+        requests = burst_workload
+        with EvaluationService(**FAST_BATCHING) as service, ThreadPoolExecutor(
+            32
+        ) as pool:
+            list(pool.map(lambda x: x, range(64)))  # spawn the pool threads
+            start = time.perf_counter()
+            cold = _fire_burst(service, requests, pool)
+            cold_s = time.perf_counter() - start
+
+            # Bit-identical to sequential single-cell evaluation (floats
+            # compare exactly; analysis payloads compare structurally).
+            reference = _sequential_reference(requests)
+            assert cold == reference
+
+            stats = service.stats()
+            total = stats["requests"]["total"]
+            assert total == len(requests)
+            # Coalescing proof: batches << requests.
+            assert stats["batching"]["batches"] * 4 <= total
+            assert stats["batching"]["largest_batch"] > 1
+            # Grid coalescing may evaluate a few unrequested cells, but the
+            # waste is bounded by the facade's 2x grid-density limit.
+            assert stats["engine"]["evaluated_cells"] <= 2 * total
+
+            # Second identical burst: pure cache hits, >= 10x faster.
+            warm_s = float("inf")
+            for _ in range(3):  # best of three shields against scheduler noise
+                start = time.perf_counter()
+                warm = _fire_burst(service, requests, pool)
+                warm_s = min(warm_s, time.perf_counter() - start)
+            assert warm == reference
+            warm_stats = service.stats()
+            hits = warm_stats["cache"]["hits"]
+            assert hits >= len(requests)  # the whole second burst was hits
+            assert warm_stats["engine"]["evaluated_cells"] == stats["engine"][
+                "evaluated_cells"
+            ]
+            assert cold_s >= 10 * warm_s, (
+                f"cached burst not >= 10x faster: cold {cold_s:.3f}s vs "
+                f"warm {warm_s:.3f}s"
+            )
+
+    def test_duplicate_requests_coalesce_to_one_evaluation(self):
+        task = make_random_heterogeneous_task(99, 0.3, n_max=40)
+        with EvaluationService(**FAST_BATCHING) as service:
+            with ThreadPoolExecutor(25) as pool:
+                results = list(
+                    pool.map(
+                        lambda _: service.submit_simulation(task, 4, timeout=120),
+                        range(50),
+                    )
+                )
+            assert len(set(results)) == 1
+            stats = service.stats()
+            assert stats["engine"]["evaluated_cells"] == 1
+            joins_and_hits = (
+                stats["engine"]["inflight_joins"] + stats["cache"]["hits"]
+            )
+            assert joins_and_hits == 49
+
+
+class TestEvaluationServiceSemantics:
+    def test_makespan_requests_use_the_exact_oracles(self):
+        task = figure1_task(period=20, deadline=15)
+        with EvaluationService(**FAST_BATCHING) as service:
+            payload = service.submit_makespan(task, 2, timeout=300)
+            reference = makespan_payload(minimum_makespan(task, 2))
+            assert payload["makespan"] == reference["makespan"] == 8.0
+            assert payload["optimal"]
+            assert payload["start_times"] == reference["start_times"]
+            assert service.submit_makespan(task, 2, timeout=300) == payload
+
+    def test_random_policy_requires_a_seed(self):
+        with EvaluationService(**FAST_BATCHING) as service:
+            with pytest.raises(ValueError, match="policy_seed"):
+                service.submit_simulation(figure1_task(), 2, policy="random")
+
+    def test_seeded_random_policy_matches_one_shot_and_caches(self):
+        task = make_random_heterogeneous_task(5, 0.2, n_max=40)
+        with EvaluationService(**FAST_BATCHING) as service:
+            value = service.submit_simulation(
+                task, 2, policy="random", policy_seed=42, timeout=120
+            )
+            again = service.submit_simulation(
+                task, 2, policy="random", policy_seed=42, timeout=120
+            )
+            expected = simulate_makespan(task, Platform(2), RandomPolicy(42))
+            assert value == again == expected
+            assert service.stats()["engine"]["solo_evaluations"] == 1
+
+    def test_fixed_priority_table_round_trip(self):
+        task = figure1_task()
+        table = {node: float(i) for i, node in enumerate(task.graph.nodes())}
+        with EvaluationService(**FAST_BATCHING) as service:
+            value = service.submit_simulation(
+                task, 2, policy="fixed-priority", priorities=table, timeout=120
+            )
+        expected = simulate_makespan(
+            task, Platform(2), policy_by_name("fixed-priority")
+        )
+        # A complete creation-order table reproduces breadth-like FIFO only
+        # by accident; just assert the service agrees with the one-shot run.
+        from repro.simulation.schedulers import FixedPriorityPolicy
+
+        assert value == simulate_makespan(
+            task, Platform(2), FixedPriorityPolicy(table)
+        )
+
+    def test_priority_table_key_types_do_not_collide(self):
+        # An int-keyed table matches the int node ids; a str-keyed one
+        # matches nothing (every node falls back to +inf).  The service
+        # must serve each spec its own one-shot answer rather than letting
+        # them share a cache entry.
+        from repro.simulation.schedulers import FixedPriorityPolicy
+
+        # Fork of three parallel nodes (wcets 4, 3, 3) on m=2: which pair
+        # starts first changes the makespan, so the int-keyed table (which
+        # matches the int node ids) and the str-keyed one (which matches
+        # nothing -> FIFO fallback) give different, individually-verified
+        # answers.
+        task = DagTask.from_wcets(
+            {1: 1.0, 2: 4.0, 3: 3.0, 4: 3.0, 5: 1.0},
+            [(1, 2), (1, 3), (1, 4), (2, 5), (3, 5), (4, 5)],
+        )
+        int_table = {3: 0.0, 4: 1.0}
+        str_table = {str(node): value for node, value in int_table.items()}
+        int_expected = simulate_makespan(
+            task, Platform(2), FixedPriorityPolicy(int_table)
+        )
+        str_expected = simulate_makespan(
+            task, Platform(2), FixedPriorityPolicy(str_table)
+        )
+        assert int_expected != str_expected  # the specs genuinely differ
+        with EvaluationService(**FAST_BATCHING) as service:
+            int_value = service.submit_simulation(
+                task, 2, policy="fixed-priority", priorities=int_table, timeout=120
+            )
+            str_value = service.submit_simulation(
+                task, 2, policy="fixed-priority", priorities=str_table, timeout=120
+            )
+        assert int_value == int_expected
+        assert str_value == str_expected
+
+    def test_seed_is_normalised_for_deterministic_policies(self):
+        task = make_random_heterogeneous_task(31, 0.2, n_max=30)
+        with EvaluationService(**FAST_BATCHING) as service:
+            seeded = service.submit_simulation(
+                task, 2, policy="breadth-first", policy_seed=7, timeout=120
+            )
+            unseeded = service.submit_simulation(
+                task, 2, policy="breadth-first", timeout=120
+            )
+            assert seeded == unseeded
+            # The seed is ignored by deterministic policies, so both
+            # requests share one fingerprint: one evaluation, one hit.
+            stats = service.stats()
+            assert stats["engine"]["evaluated_cells"] == 1
+            assert stats["cache"]["hits"] == 1
+
+    def test_returned_payloads_are_copies(self):
+        task = make_random_heterogeneous_task(17, 0.2, n_max=30)
+        with EvaluationService(**FAST_BATCHING) as service:
+            payload = service.submit_analysis(task, 2, timeout=120)
+            payload["bounds"].clear()  # vandalise the caller's copy
+            fresh = service.submit_analysis(task, 2, timeout=120)
+            assert fresh["bounds"], "cache was poisoned by caller mutation"
+
+    def test_cache_disabled_still_correct(self):
+        task = make_random_heterogeneous_task(23, 0.2, n_max=30)
+        with EvaluationService(cache_bytes=0, **FAST_BATCHING) as service:
+            first = service.submit_simulation(task, 2, timeout=120)
+            second = service.submit_simulation(task, 2, timeout=120)
+            assert first == second == simulate_makespan(
+                task, Platform(2), policy_by_name("breadth-first")
+            )
+            assert service.stats()["cache"]["entries"] == 0
+
+    def test_unknown_policy_and_method_rejected(self):
+        with EvaluationService(**FAST_BATCHING) as service:
+            with pytest.raises(KeyError):
+                service.submit_simulation(figure1_task(), 2, policy="no-such")
+            with pytest.raises(ValueError):
+                service.submit_makespan(figure1_task(), 2, method="no-such")
+
+    def test_leader_enqueue_failure_releases_joiners(self):
+        # If the leader's enqueue into the batcher fails (e.g. a close()
+        # race), concurrent duplicates parked on its in-flight entry must
+        # receive the failure instead of waiting forever.
+        task = figure1_task()
+        with EvaluationService(**FAST_BATCHING) as service:
+            entered = threading.Event()
+            release = threading.Event()
+
+            def failing_submit(request):
+                entered.set()
+                assert release.wait(10)
+                raise ServiceClosedError("forced enqueue failure")
+
+            service._batcher.submit = failing_submit
+            outcomes = []
+
+            def submit(role):
+                try:
+                    service.submit_simulation(task, 2, timeout=30)
+                    outcomes.append((role, "ok"))
+                except ServiceClosedError:
+                    outcomes.append((role, "closed"))
+
+            leader = threading.Thread(target=submit, args=("leader",))
+            leader.start()
+            assert entered.wait(10)
+            joiner = threading.Thread(target=submit, args=("joiner",))
+            joiner.start()
+            time.sleep(0.05)  # let the joiner park on the leader's event
+            release.set()
+            leader.join(timeout=10)
+            joiner.join(timeout=10)
+            assert not leader.is_alive() and not joiner.is_alive()
+            assert sorted(outcomes) == [("joiner", "closed"), ("leader", "closed")]
+
+    def test_infeasible_unrequested_grid_cell_does_not_fail_group_mates(self):
+        # Hetero task on an accelerator platform + homogeneous task on an
+        # accelerator-less one: both fine sequentially, but one flush grids
+        # {both tasks} x {both platforms} and the *unrequested* cell
+        # (hetero task, no accelerator) is infeasible.  The group must fall
+        # back to per-request evaluation, not fail both clients.
+        from strategies import make_random_host_task
+
+        hetero = make_random_heterogeneous_task(1, 0.2, n_max=20)
+        plain = make_random_host_task(2, n_max=20)
+        service = EvaluationService(flush_interval=30.0, quiet_interval=10.0)
+        with ThreadPoolExecutor(2) as pool:
+            first = pool.submit(
+                service.submit_simulation, hetero, Platform(2, 1), timeout=60
+            )
+            second = pool.submit(
+                service.submit_simulation, plain, Platform(4, 0), timeout=60
+            )
+            while service.stats()["batching"]["pending"] < 2:
+                time.sleep(0.001)
+            service.close(timeout=60)
+            policy = policy_by_name("breadth-first")
+            assert first.result(60) == simulate_makespan(
+                hetero, Platform(2, 1), policy
+            )
+            assert second.result(60) == simulate_makespan(
+                plain, Platform(4, 0), policy
+            )
+
+    def test_invalid_request_fails_alone_in_a_coalesced_group(self):
+        # A genuinely invalid request (offloading task, accelerator-less
+        # platform) coalesced with a valid one: only the offender errors.
+        from repro.core.exceptions import SimulationError
+
+        bad_task = make_random_heterogeneous_task(3, 0.2, n_max=20)
+        good_task = make_random_heterogeneous_task(4, 0.2, n_max=20)
+        service = EvaluationService(flush_interval=30.0, quiet_interval=10.0)
+        with ThreadPoolExecutor(2) as pool:
+            bad = pool.submit(
+                service.submit_simulation, bad_task, Platform(2, 0), timeout=60
+            )
+            good = pool.submit(
+                service.submit_simulation, good_task, Platform(2, 1), timeout=60
+            )
+            while service.stats()["batching"]["pending"] < 2:
+                time.sleep(0.001)
+            service.close(timeout=60)
+            assert good.result(60) == simulate_makespan(
+                good_task, Platform(2, 1), policy_by_name("breadth-first")
+            )
+            with pytest.raises(SimulationError):
+                bad.result(60)
+
+    def test_close_drains_and_rejects_afterwards(self):
+        tasks = [make_random_heterogeneous_task(s, 0.2, n_max=30) for s in range(8)]
+        # Long quiet window: requests are still parked when close() runs.
+        service = EvaluationService(flush_interval=30.0, quiet_interval=10.0)
+        with ThreadPoolExecutor(8) as pool:
+            futures = [
+                pool.submit(service.submit_simulation, task, 2, timeout=120)
+                for task in tasks
+            ]
+            while service.stats()["batching"]["pending"] < len(tasks):
+                time.sleep(0.001)
+            service.close(timeout=60)
+            results = [future.result(timeout=60) for future in futures]
+        expected = [
+            simulate_makespan(task, Platform(2), policy_by_name("breadth-first"))
+            for task in tasks
+        ]
+        assert results == expected
+        with pytest.raises(ServiceClosedError):
+            service.submit_simulation(tasks[0], 2)
+
+
+# ----------------------------------------------------------------------
+# Property: cached and uncached answers always agree
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def property_service():
+    with EvaluationService(**FAST_BATCHING) as service:
+        yield service
+
+
+class TestCachedUncachedAgreement:
+    @given(
+        seed=st.integers(0, 500),
+        fraction=st.sampled_from([0.05, 0.2, 0.5]),
+        cores=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_and_analysis_agree_with_one_shot(
+        self, property_service, seed, fraction, cores
+    ):
+        task = make_random_heterogeneous_task(seed, fraction, n_max=25)
+        uncached = property_service.submit_simulation(task, cores, timeout=120)
+        cached = property_service.submit_simulation(task, cores, timeout=120)
+        direct = simulate_makespan(
+            task, Platform(cores), policy_by_name("breadth-first")
+        )
+        assert uncached == cached == direct
+
+        first = property_service.submit_analysis(task, cores, timeout=120)
+        second = property_service.submit_analysis(task, cores, timeout=120)
+        assert first == second == analysis_payload(analyse_many([task], cores)[0])
+
+
+# ----------------------------------------------------------------------
+# HTTP transport round trip (ephemeral port)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def http_service():
+    service = EvaluationService(**FAST_BATCHING)
+    server, thread = start_server(service, port=0)
+    client = ServiceClient(port=server.port, timeout=120)
+    yield service, server, client
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    service.close()
+
+
+class TestHTTPTransport:
+    def test_health(self, http_service):
+        _, _, client = http_service
+        document = client.health()
+        assert document["status"] == "ok"
+
+    def test_simulate_round_trip(self, http_service):
+        _, _, client = http_service
+        task = figure1_task(period=20, deadline=15)
+        makespan = client.simulate(task, cores=2)
+        assert makespan == simulate_makespan(
+            task, Platform(2), policy_by_name("breadth-first")
+        )
+
+    def test_analyse_round_trip(self, http_service):
+        _, _, client = http_service
+        task = figure1_task(period=20, deadline=15)
+        payload = client.analyse(task, [2, 4])
+        assert payload == analysis_payload(analyse_many([task], (2, 4))[0])
+        methods = payload["bounds"][0]["methods"]
+        assert {"hom", "het", "naive"} <= set(methods)
+
+    def test_makespan_round_trip(self, http_service):
+        _, _, client = http_service
+        task = figure1_task(period=20, deadline=15)
+        payload = client.makespan(task, 2, method="bnb")
+        assert payload["makespan"] == 8.0
+        assert payload["optimal"]
+
+    def test_stats_reports_requests(self, http_service):
+        service, _, client = http_service
+        document = client.stats()
+        assert document["requests"]["total"] >= 1
+        assert document["requests"] == service.stats()["requests"]
+
+    def test_error_paths(self, http_service):
+        _, _, client = http_service
+        task = figure1_task()
+        with pytest.raises(ServiceError, match="unknown policy"):
+            client.simulate(task, cores=2, policy="no-such")
+        with pytest.raises(ServiceError, match="policy_seed"):
+            client.simulate(task, cores=2, policy="random")
+        with pytest.raises(ServiceError):
+            client._request("/no-such-endpoint")
+        with pytest.raises(ServiceError, match="missing the 'task'"):
+            client._request("/simulate", {"cores": 2})
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ServiceClient(port=1, timeout=1)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.health()
