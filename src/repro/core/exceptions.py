@@ -23,6 +23,12 @@ __all__ = [
     "SerializationError",
     "ServiceError",
     "ServiceClosedError",
+    "ServiceTimeoutError",
+    "ServiceOverloadedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "FaultInjectedError",
+    "WorkerCrashError",
 ]
 
 
@@ -108,8 +114,62 @@ class SerializationError(ReproError):
 
 
 class ServiceError(ReproError):
-    """Raised when the long-lived evaluation service cannot serve a request."""
+    """Raised when the long-lived evaluation service cannot serve a request.
+
+    ``retryable`` is a class-level hint for clients: ``True`` on the
+    subclasses whose failure is transient by construction (overload, drain,
+    deadline expiry) -- every service endpoint is idempotent (results are
+    keyed on content fingerprints), so retrying those is always safe.
+    """
+
+    retryable = False
 
 
 class ServiceClosedError(ServiceError):
-    """Raised when a request reaches a service that has been closed."""
+    """Raised when a request reaches a service that has been closed.
+
+    Retryable from a remote client's point of view: a closed service is
+    usually one mid-drain or mid-restart.
+    """
+
+    retryable = True
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a request's deadline expired before it was served.
+
+    Covers both sides of the queue: a caller whose ``wait`` ran out, and a
+    parked request whose deadline expired before its batch was executed.
+    """
+
+    retryable = True
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control sheds a request (queue bounds hit).
+
+    ``retry_after`` is the suggested back-off in seconds (the HTTP
+    transport forwards it as a ``Retry-After`` header).
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ReproError):
+    """Raised by :meth:`repro.resilience.Deadline.check` on expiry."""
+
+
+class CircuitOpenError(ReproError):
+    """Raised by :meth:`repro.resilience.CircuitBreaker.call` while open."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed :class:`repro.resilience.FaultInjector` point."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when the parallel runner exhausted its pool-respawn budget."""

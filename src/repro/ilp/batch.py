@@ -26,8 +26,14 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..core.task import DagTask
-from ..parallel import parallel_map
-from .makespan import MakespanMethod, MakespanResult, minimum_makespan
+from ..parallel import parallel_map, resolve_jobs
+from ..resilience import CircuitBreaker, Deadline, fault_point
+from .makespan import (
+    MakespanMethod,
+    MakespanResult,
+    degraded_makespan_result,
+    minimum_makespan,
+)
 
 __all__ = ["oracle_cache_clear", "oracle_cache_size", "minimum_makespans_many"]
 
@@ -80,6 +86,7 @@ def _solve_one(
 ) -> MakespanResult:
     """Worker: solve one deduplicated oracle instance."""
     task, cores, accelerators, method, time_limit, warm_start = args
+    fault_point("oracle.solve")
     return minimum_makespan(
         task,
         cores,
@@ -88,6 +95,87 @@ def _solve_one(
         time_limit=time_limit,
         warm_start=warm_start,
     )
+
+
+def _solve_pending(
+    pending_work: list[tuple],
+    deadline: Deadline,
+    time_limit: Optional[float],
+    jobs: Optional[int],
+) -> list[MakespanResult]:
+    """Solve the deduplicated instances under a shared time budget.
+
+    Serially, the deadline is consulted *between* instances: the remaining
+    budget caps each solver's ``time_limit``, and once it is exhausted the
+    rest of the batch degrades to the bound sandwich instead of queueing
+    behind a budget that is already gone.  The budgeted parallel path
+    dispatches in worker-sized waves and re-consults the deadline between
+    waves -- a running worker cannot be preempted (its solver is capped by
+    the remaining budget instead), but no *new* solve is ever queued behind
+    a budget that is already spent.  With an unbounded deadline both paths
+    reduce exactly to the pre-budget behaviour (one pool, one dispatch).
+    """
+    workers = resolve_jobs(jobs)
+    if workers == 1 or len(pending_work) <= 1:
+        solutions = []
+        for task, cores, accelerators, method, _limit, warm_start in pending_work:
+            if deadline.expired:
+                solutions.append(
+                    degraded_makespan_result(
+                        task,
+                        cores,
+                        accelerators,
+                        method=method,
+                        reason="budget-exhausted",
+                    )
+                )
+                continue
+            solutions.append(
+                _solve_one(
+                    (
+                        task,
+                        cores,
+                        accelerators,
+                        method,
+                        deadline.cap(time_limit),
+                        warm_start,
+                    )
+                )
+            )
+        return solutions
+    if deadline.unbounded:
+        work = [
+            (task, cores, accelerators, method, time_limit, warm_start)
+            for task, cores, accelerators, method, _limit, warm_start in pending_work
+        ]
+        return parallel_map(_solve_one, work, jobs=jobs)
+    solutions: list[MakespanResult] = []
+    for start in range(0, len(pending_work), workers):
+        wave = pending_work[start : start + workers]
+        if deadline.expired:
+            solutions.extend(
+                degraded_makespan_result(
+                    task,
+                    cores,
+                    accelerators,
+                    method=method,
+                    reason="budget-exhausted",
+                )
+                for task, cores, accelerators, method, _limit, warm_start in wave
+            )
+            continue
+        capped = deadline.cap(time_limit)
+        solutions.extend(
+            parallel_map(
+                _solve_one,
+                [
+                    (task, cores, accelerators, method, capped, warm_start)
+                    for task, cores, accelerators, method, _limit, warm_start in wave
+                ],
+                jobs=jobs,
+            )
+        )
+    return solutions
 
 
 def minimum_makespans_many(
@@ -99,6 +187,8 @@ def minimum_makespans_many(
     jobs: Optional[int] = None,
     use_cache: bool = True,
     warm_start: bool = True,
+    budget: Optional[float] = None,
+    breaker: Optional[CircuitBreaker] = None,
 ) -> list[MakespanResult]:
     """Exact minimum makespans of a batch of tasks on ``m`` cores + device.
 
@@ -117,18 +207,32 @@ def minimum_makespans_many(
         Consult and fill the process-wide oracle memo.  ``False`` forces
         every unique instance to be re-solved (batch-local deduplication
         still applies).
+    budget:
+        Wall-clock seconds for the *whole batch*.  The remaining budget
+        caps each solver's ``time_limit``; instances reached after the
+        budget is spent fall back to the verified bound sandwich
+        (:func:`~repro.ilp.makespan.degraded_makespan_result`) and come
+        back flagged ``degraded=True``.  ``None`` (the default) keeps the
+        unbudgeted behaviour bit-identical.
+    breaker:
+        Optional :class:`~repro.resilience.CircuitBreaker` guarding the
+        exact engines.  While open, the batch degrades immediately (no
+        solver is invoked); a batch with any degradation or an engine
+        exception records a failure, a fully exact batch records a success.
 
     Returns
     -------
     list[MakespanResult]
         One result per task, aligned with the input order.  Duplicated
-        instances share one result object.
+        instances share one result object.  Degraded results are never
+        written to the process-wide memo.
     """
     task_list = list(tasks)
     keys = [
         _instance_key(task, cores, accelerators, method, time_limit, warm_start)
         for task in task_list
     ]
+    deadline = Deadline.after(budget)
 
     resolved: dict[tuple, MakespanResult] = {}
     pending: list[tuple] = []
@@ -146,12 +250,35 @@ def minimum_makespans_many(
         )
 
     if pending_work:
-        solutions = parallel_map(_solve_one, pending_work, jobs=jobs)
-        for key, solution in zip(pending, solutions):
-            resolved[key] = solution
-            if use_cache:
-                if len(_ORACLE_CACHE) >= _CACHE_LIMIT:
-                    _ORACLE_CACHE.clear()
-                _ORACLE_CACHE[key] = solution
+        if breaker is not None and not breaker.allow():
+            for key, work in zip(pending, pending_work):
+                resolved[key] = degraded_makespan_result(
+                    work[0], cores, accelerators, method=method, reason="breaker-open"
+                )
+        else:
+            try:
+                solutions = _solve_pending(pending_work, deadline, time_limit, jobs)
+            except BaseException:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            any_degraded = False
+            for key, solution in zip(pending, solutions):
+                resolved[key] = solution
+                if solution.degraded:
+                    any_degraded = True
+                    continue  # a bound sandwich is not an exact answer
+                if use_cache and (budget is None or solution.optimal):
+                    # A budget-capped non-optimal solve ran under a tighter
+                    # effective time limit than its key claims -- keep it
+                    # out of the cross-batch memo.
+                    if len(_ORACLE_CACHE) >= _CACHE_LIMIT:
+                        _ORACLE_CACHE.clear()
+                    _ORACLE_CACHE[key] = solution
+            if breaker is not None:
+                if any_degraded:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
 
     return [resolved[key] for key in keys]

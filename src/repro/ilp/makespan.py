@@ -17,11 +17,17 @@ from typing import Optional
 from ..core.exceptions import SolverError
 from ..core.graph import NodeId
 from ..core.task import DagTask
-from .bounds import makespan_lower_bound
+from .bounds import best_list_schedule, makespan_lower_bound
 from .branch_and_bound import branch_and_bound_makespan
 from .solver import solve_minimum_makespan
 
-__all__ = ["MakespanMethod", "MakespanResult", "minimum_makespan", "verify_schedule"]
+__all__ = [
+    "MakespanMethod",
+    "MakespanResult",
+    "minimum_makespan",
+    "degraded_makespan_result",
+    "verify_schedule",
+]
 
 
 class MakespanMethod(enum.Enum):
@@ -40,6 +46,12 @@ class MakespanResult:
     ``engine_stats`` records the cost of the solve: ``explored_states``,
     ``memo_hits`` and ``engine`` for the branch-and-bound,
     ``variables``/``constraints``/``horizon``/``warm_started`` for the ILP.
+
+    ``degraded`` marks a result produced by the bound-sandwich fallback
+    (:func:`degraded_makespan_result`) when the exact engines were skipped
+    -- time budget exhausted or circuit breaker open.  A degraded makespan
+    is a *verified upper bound*, not the optimum, and must never be cached
+    or reported as exact.
     """
 
     makespan: float
@@ -49,6 +61,7 @@ class MakespanResult:
     cores: int
     accelerators: int
     engine_stats: dict = field(default_factory=dict)
+    degraded: bool = False
 
     def __float__(self) -> float:
         return float(self.makespan)
@@ -182,4 +195,42 @@ def minimum_makespan(
         cores=cores,
         accelerators=accelerators,
         engine_stats=stats,
+    )
+
+
+def degraded_makespan_result(
+    task: DagTask,
+    cores: int,
+    accelerators: int = 1,
+    method: MakespanMethod = MakespanMethod.AUTO,
+    reason: str = "budget-exhausted",
+) -> MakespanResult:
+    """Bound-sandwich fallback when the exact engines cannot be run.
+
+    Produces a *verified* answer in list-scheduling time: the makespan is
+    the best concrete list schedule (a feasible upper bound, replayed
+    through :func:`verify_schedule` like every exact result), and
+    ``engine_stats`` carries the sandwich -- ``lower_bound`` from
+    :func:`makespan_lower_bound` and ``upper_bound`` equal to the returned
+    makespan -- so callers can see exactly how loose the degradation is.
+    The result is flagged ``degraded=True`` and ``optimal=False``; the
+    service layer refuses to cache it as exact.
+    """
+    upper, starts = best_list_schedule(task, cores, accelerators)
+    verify_schedule(task, starts, cores, accelerators)
+    lower = makespan_lower_bound(task, cores, accelerators)
+    return MakespanResult(
+        makespan=float(upper),
+        start_times=starts,
+        method=method,
+        optimal=False,
+        cores=cores,
+        accelerators=accelerators,
+        engine_stats={
+            "engine": "degraded-bounds",
+            "lower_bound": float(lower),
+            "upper_bound": float(upper),
+            "reason": reason,
+        },
+        degraded=True,
     )

@@ -6,8 +6,11 @@ thousands of independent (task, platform) evaluations whose inputs are drawn
 substrate:
 
 * :func:`parallel_map` -- an order-preserving ``map`` over a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, falling back to a plain
-  serial loop for ``jobs <= 1`` so that callers have a single code path;
+  :class:`~concurrent.futures.ProcessPoolExecutor` that survives worker
+  death: a crashed worker breaks the pool, so the pool is respawned and
+  only the chunks whose results were lost are retried.  Falls back to a
+  plain serial loop for ``jobs <= 1`` so that callers have a single code
+  path;
 * :func:`spawn_seeds` -- deterministic per-chunk child seeds derived from a
   root seed via :class:`numpy.random.SeedSequence`, so that splitting work
   into chunks never changes the random draws;
@@ -20,19 +23,40 @@ Workers receive *pickled copies* of their inputs, so a worker can never
 mutate shared state.  Every driver built on this module generates its random
 inputs serially (single RNG stream) and only distributes the deterministic
 evaluation, which is why ``jobs=N`` produces bit-identical results to
-``jobs=1``.
+``jobs=1`` -- and why retrying a lost chunk after a worker crash is sound:
+re-evaluating a pure function of pickled inputs yields the same values the
+dead worker would have produced.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, TypeVar
 
-__all__ = ["resolve_jobs", "parallel_map", "spawn_seeds"]
+from .core.exceptions import WorkerCrashError
+from .resilience import fault_point
+
+__all__ = ["resolve_jobs", "parallel_map", "spawn_seeds", "worker_respawn_count"]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
+
+_respawn_lock = threading.Lock()
+_respawn_count = 0
+
+
+def worker_respawn_count() -> int:
+    """Process-lifetime count of pool respawns after worker crashes."""
+    with _respawn_lock:
+        return _respawn_count
+
+
+def _note_respawn() -> None:
+    global _respawn_count
+    with _respawn_lock:
+        _respawn_count += 1
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -48,25 +72,76 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _apply_chunk(payload: tuple) -> list:
+    """Worker entry point: apply ``fn`` to one chunk of items, in order."""
+    fn, chunk = payload
+    results = []
+    for item in chunk:
+        fault_point("parallel.chunk")
+        results.append(fn(item))
+    return results
+
+
 def parallel_map(
     fn: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     jobs: Optional[int] = None,
     chunksize: int = 1,
+    max_respawns: int = 2,
 ) -> list[_ResultT]:
-    """Apply ``fn`` to every item, preserving order.
+    """Apply ``fn`` to every item, preserving order, surviving worker death.
 
     With ``jobs <= 1`` (or fewer than two items) this is a plain serial loop
-    -- no processes, no pickling.  Otherwise the items are dispatched to a
+    -- no processes, no pickling.  Otherwise the items are split into chunks
+    of ``chunksize`` and each chunk is submitted as one future to a
     :class:`~concurrent.futures.ProcessPoolExecutor`; ``fn`` must be a
     module-level callable and both items and results must be picklable.
+
+    When a worker dies (OOM kill, segfault, hard ``os._exit``), the pool
+    breaks and every unfinished future fails with
+    :class:`~concurrent.futures.BrokenExecutor`.  Completed chunks are
+    keepers; the pool is respawned and only the lost chunks are retried, up
+    to ``max_respawns`` fresh pools, after which
+    :class:`~repro.core.exceptions.WorkerCrashError` is raised.  Exceptions
+    raised by ``fn`` itself are *not* crashes and propagate on first
+    occurrence, exactly as in the serial path.
     """
     work = list(items)
     workers = resolve_jobs(jobs)
     if workers == 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
-        return list(pool.map(fn, work, chunksize=max(1, chunksize)))
+
+    size = max(1, chunksize)
+    chunks = [work[start : start + size] for start in range(0, len(work), size)]
+    chunk_results: list[Optional[list]] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    respawns = 0
+    while pending:
+        lost: list[int] = []
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {}
+            for index in pending:
+                try:
+                    futures[pool.submit(_apply_chunk, (fn, chunks[index]))] = index
+                except BrokenExecutor:
+                    lost.append(index)
+            for future, index in futures.items():
+                try:
+                    chunk_results[index] = future.result()
+                except BrokenExecutor:
+                    lost.append(index)
+        if not lost:
+            break
+        respawns += 1
+        if respawns > max_respawns:
+            raise WorkerCrashError(
+                f"parallel workers kept dying: {len(lost)} chunk(s) still "
+                f"unfinished after {max_respawns} pool respawn(s)"
+            )
+        _note_respawn()
+        pending = sorted(lost)
+
+    return [result for chunk in chunk_results for result in chunk]  # type: ignore[union-attr]
 
 
 def spawn_seeds(root_seed: int, count: int) -> list[int]:

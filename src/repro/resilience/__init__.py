@@ -1,0 +1,39 @@
+"""Resilience primitives: deadlines, retries, circuit breaking, fault injection.
+
+This package is the substrate of the service's failure semantics (see
+``docs/service.md``, "Failure modes & operational runbook"):
+
+* :class:`Deadline` -- absolute monotonic expiry carried down call chains;
+* :func:`retry_call` -- bounded exponential backoff with deterministic
+  seeded jitter;
+* :class:`CircuitBreaker` -- counter-exposing closed/open/half-open breaker;
+* :class:`FaultInjector` / :data:`FAULTS` / :func:`fault_point` --
+  deterministic fault injection keyed by named fault points.
+
+The matching exception types live in :mod:`repro.core.exceptions` and are
+re-exported here for convenience.
+"""
+
+from ..core.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    WorkerCrashError,
+)
+from .breaker import CircuitBreaker
+from .deadline import Deadline
+from .faults import FAULTS, FaultInjector, fault_point
+from .retry import retry_call
+
+__all__ = [
+    "Deadline",
+    "retry_call",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FAULTS",
+    "fault_point",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "FaultInjectedError",
+    "WorkerCrashError",
+]

@@ -1,9 +1,12 @@
-"""Long-lived evaluation service over the batched engines (PR 5).
+"""Long-lived evaluation service over the batched engines (PR 5, PR 6).
 
 The serving layer of the reproduction: a cache-backed, micro-batching
 facade that amortises compilation, analysis and simulation across requests
-the way the one-shot CLI/driver entry points cannot.  See
-``docs/service.md`` for the architecture and capacity-tuning notes.
+the way the one-shot CLI/driver entry points cannot.  PR 6 added the
+failure semantics: per-request deadlines, bounded admission with load
+shedding, a circuit-broken degraded oracle mode and a drain that resolves
+every accepted request.  See ``docs/service.md`` for the architecture,
+capacity-tuning notes and the failure-mode runbook.
 
 Modules
 -------
@@ -22,6 +25,12 @@ Modules
     Thin Python client of the HTTP transport.
 """
 
+from ..core.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from .batching import BatchRequest, MicroBatcher
 from .cache import ResultCache
 from .client import ServiceClient
@@ -43,6 +52,10 @@ from .http import ServiceHTTPServer, start_server
 
 __all__ = [
     "EvaluationService",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceTimeoutError",
+    "ServiceOverloadedError",
     "ResultCache",
     "MicroBatcher",
     "BatchRequest",

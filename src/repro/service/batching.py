@@ -22,9 +22,21 @@ callback as one batch when either
 * the batcher is **closed** -- the queue drains every parked request before
   the worker exits, so ``close()`` never abandons a caller.
 
-The executor (supplied by :class:`~repro.service.facade.EvaluationService`)
-receives the whole batch and must resolve every request; any request it
-leaves unresolved is failed defensively so no caller can block forever.
+Admission is bounded: ``max_pending`` caps the parked-request count and
+``max_pending_cost`` caps their summed ``cost`` (the facade uses node
+counts as a memory proxy); a request arriving past either bound is **shed**
+with :class:`~repro.core.exceptions.ServiceOverloadedError` instead of
+being accepted into a queue that cannot keep up.  Shedding at admission is
+the only honest failure mode under overload -- every *accepted* request is
+still guaranteed a resolution.
+
+That guarantee has three layers: the executor must resolve every request in
+a flush; any request it leaves unresolved is failed defensively; and if the
+worker thread itself dies, its exit handler marks the batcher closed and
+fails everything still parked.  Abandonment (executor exception, worker
+death, injected drain fault) is routed through the ``on_abandon`` hook so
+the owning facade can clean its in-flight table before callers see the
+error.
 
 The batcher is engine-agnostic: requests carry an opaque ``group_key`` the
 executor uses to split a flush into engine-compatible groups, plus a
@@ -38,7 +50,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Optional
 
-from ..core.exceptions import ServiceClosedError, ServiceError
+from ..core.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from ..resilience import Deadline, fault_point
 
 __all__ = ["BatchRequest", "MicroBatcher"]
 
@@ -61,6 +79,13 @@ class BatchRequest:
         The task object of the request (kept as-is; the engines compile it).
     params:
         Remaining request parameters, as built by the facade.
+    deadline:
+        Optional per-request deadline.  The executor checks it before
+        doing work: a request whose deadline expired while parked is
+        failed with :class:`ServiceTimeoutError` instead of being served.
+    cost:
+        Admission-control weight (the facade uses the task's node count);
+        counted against ``max_pending_cost``.
     """
 
     kind: str
@@ -68,6 +93,8 @@ class BatchRequest:
     group_key: Hashable
     task: object
     params: dict
+    deadline: Optional[Deadline] = None
+    cost: int = 1
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     result: object = None
     error: Optional[BaseException] = None
@@ -90,7 +117,7 @@ class BatchRequest:
     def wait(self, timeout: Optional[float] = None) -> object:
         """Block until the request is served; return or raise its outcome."""
         if not self._done.wait(timeout):
-            raise ServiceError(
+            raise ServiceTimeoutError(
                 f"{self.kind} request {self.fingerprint[:12]} timed out "
                 f"after {timeout}s"
             )
@@ -115,6 +142,18 @@ class MicroBatcher:
         arrived for this long.  Must not exceed ``flush_interval``.
     max_batch:
         Pending-request count that triggers an immediate flush.
+    max_pending, max_pending_cost:
+        Admission bounds (``None`` = unbounded).  A request that would push
+        the parked queue past either bound is shed with
+        :class:`ServiceOverloadedError`.  A single request whose own cost
+        exceeds ``max_pending_cost`` is still admitted when the queue is
+        empty -- bounding admission must not make a request unservable.
+    on_abandon:
+        Hook called as ``on_abandon(request, error)`` whenever the batcher
+        (not the executor) must fail a request: executor exception fan-out,
+        unresolved-request back-stop, worker death.  The owning facade uses
+        it to clean its in-flight table; the batcher still guarantees the
+        request ends up failed even if the hook itself misbehaves.
     name:
         Worker-thread name (visible in diagnostics).
     """
@@ -126,6 +165,9 @@ class MicroBatcher:
         flush_interval: float = 0.05,
         quiet_interval: float = 0.002,
         max_batch: int = 512,
+        max_pending: Optional[int] = None,
+        max_pending_cost: Optional[int] = None,
+        on_abandon: Optional[Callable[[BatchRequest, BaseException], None]] = None,
         name: str = "repro-service-batcher",
     ) -> None:
         if flush_interval < 0:
@@ -137,16 +179,27 @@ class MicroBatcher:
             )
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1 or None, got {max_pending}")
+        if max_pending_cost is not None and max_pending_cost < 1:
+            raise ValueError(
+                f"max_pending_cost must be >= 1 or None, got {max_pending_cost}"
+            )
         self._execute = execute
         self.flush_interval = flush_interval
         self.quiet_interval = quiet_interval
         self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.max_pending_cost = max_pending_cost
+        self._on_abandon = on_abandon
         self._condition = threading.Condition()
         self._pending: list[BatchRequest] = []
+        self._pending_cost = 0
         self._oldest: float = 0.0
         self._latest: float = 0.0
         self._closed = False
         self._submitted = 0
+        self._shed = 0
         self._batches = 0
         self._largest_batch = 0
         self._flushes = {"quiet": 0, "deadline": 0, "size": 0, "close": 0}
@@ -159,23 +212,54 @@ class MicroBatcher:
     def submit(self, request: BatchRequest) -> BatchRequest:
         """Park ``request`` for the next flush (non-blocking).
 
+        Admission (closed check, queue bounds, parking) is a single atomic
+        step under the batcher lock: a request is either rejected here, or
+        it is in the pending list where the drain guarantee covers it --
+        there is no window in which ``close()`` can observe it half-way.
         The caller collects the outcome via :meth:`BatchRequest.wait`.
 
         Raises
         ------
         ServiceClosedError
             When the batcher has been closed.
+        ServiceOverloadedError
+            When an admission bound would be exceeded (the request was
+            shed; ``retry_after`` suggests when the queue may have space).
         """
         with self._condition:
             if self._closed:
                 raise ServiceClosedError(
                     "evaluation service is closed; no further requests accepted"
                 )
+            retry_after = max(self.flush_interval, 0.05)
+            if (
+                self.max_pending is not None
+                and len(self._pending) >= self.max_pending
+            ):
+                self._shed += 1
+                raise ServiceOverloadedError(
+                    f"evaluation service overloaded: {len(self._pending)} "
+                    f"requests pending (max_pending={self.max_pending})",
+                    retry_after=retry_after,
+                )
+            if (
+                self.max_pending_cost is not None
+                and self._pending
+                and self._pending_cost + request.cost > self.max_pending_cost
+            ):
+                self._shed += 1
+                raise ServiceOverloadedError(
+                    f"evaluation service overloaded: pending cost "
+                    f"{self._pending_cost} + {request.cost} exceeds "
+                    f"max_pending_cost={self.max_pending_cost}",
+                    retry_after=retry_after,
+                )
             now = time.monotonic()
             if not self._pending:
                 self._oldest = now
             self._latest = now
             self._pending.append(request)
+            self._pending_cost += request.cost
             self._submitted += 1
             self._condition.notify_all()
         return request
@@ -197,6 +281,16 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Worker
     # ------------------------------------------------------------------
+    def _fail(self, request: BatchRequest, error: BaseException) -> None:
+        """Abandon ``request``: notify the owner, then guarantee failure."""
+        if self._on_abandon is not None:
+            try:
+                self._on_abandon(request, error)
+            except BaseException:  # noqa: BLE001 - the guarantee comes first
+                pass
+        if not request.resolved:
+            request.fail(error)
+
     def _take_batch(self) -> tuple[list[BatchRequest], Optional[str]]:
         """Wait for a flush trigger; return ``(batch, reason)``.
 
@@ -221,35 +315,61 @@ class MicroBatcher:
                         continue
                     batch = self._pending
                     self._pending = []
+                    self._pending_cost = 0
                     return batch, reason
                 if self._closed:
                     return [], None
                 self._condition.wait()
 
     def _run(self) -> None:
-        while True:
-            batch, reason = self._take_batch()
-            if not batch:
-                return
-            with self._condition:
-                self._batches += 1
-                self._largest_batch = max(self._largest_batch, len(batch))
-                self._flushes[reason] += 1
-            try:
-                self._execute(batch)
-            except BaseException as error:  # noqa: BLE001 - fan out to callers
-                for request in batch:
-                    if not request.resolved:
-                        request.fail(error)
-            finally:
-                for request in batch:
-                    if not request.resolved:  # pragma: no cover - defensive
-                        request.fail(
-                            ServiceError(
-                                f"executor left {request.kind} request "
-                                f"{request.fingerprint[:12]} unresolved"
+        try:
+            while True:
+                batch, reason = self._take_batch()
+                if not batch:
+                    return
+                with self._condition:
+                    self._batches += 1
+                    self._largest_batch = max(self._largest_batch, len(batch))
+                    self._flushes[reason] += 1
+                try:
+                    if reason == "close":
+                        fault_point("service.drain")
+                    self._execute(batch)
+                except BaseException as error:  # noqa: BLE001 - fan out to callers
+                    for request in batch:
+                        if not request.resolved:
+                            self._fail(request, error)
+                finally:
+                    for request in batch:
+                        if not request.resolved:  # pragma: no cover - defensive
+                            self._fail(
+                                request,
+                                ServiceError(
+                                    f"executor left {request.kind} request "
+                                    f"{request.fingerprint[:12]} unresolved"
+                                ),
                             )
-                        )
+        finally:
+            # The worker is exiting -- cleanly after a drain, or because
+            # something above threw.  Either way, no flush will ever run
+            # again: refuse new submissions and fail anything still parked
+            # so no accepted caller blocks forever on a dead queue.
+            with self._condition:
+                self._closed = True
+                leftovers = self._pending
+                self._pending = []
+                self._pending_cost = 0
+                self._condition.notify_all()
+            for request in leftovers:
+                if not request.resolved:  # pragma: no cover - defensive
+                    self._fail(
+                        request,
+                        ServiceError(
+                            "batcher worker exited with parked requests; "
+                            f"{request.kind} request "
+                            f"{request.fingerprint[:12]} abandoned"
+                        ),
+                    )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -259,11 +379,15 @@ class MicroBatcher:
         with self._condition:
             return {
                 "submitted": self._submitted,
+                "shed": self._shed,
                 "batches": self._batches,
                 "largest_batch": self._largest_batch,
                 "pending": len(self._pending),
+                "pending_cost": self._pending_cost,
                 "flushes": dict(self._flushes),
                 "flush_interval": self.flush_interval,
                 "quiet_interval": self.quiet_interval,
                 "max_batch": self.max_batch,
+                "max_pending": self.max_pending,
+                "max_pending_cost": self.max_pending_cost,
             }

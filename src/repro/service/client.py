@@ -4,6 +4,14 @@ Stdlib-only (:mod:`urllib.request`); tasks are shipped in the on-disk JSON
 form of :mod:`repro.io.json_io`, so a :class:`~repro.core.task.DagTask`
 built locally and a task document loaded from a file are interchangeable.
 
+Every endpoint call carries the client's default socket ``timeout`` and
+accepts a per-call override.  Transient failures -- connection errors and
+any response whose error envelope says ``retryable`` (429 overloaded,
+503 draining, 504 deadline expired) -- are retried with exponential
+backoff; a server-supplied ``Retry-After`` floors the delay.  Retrying is
+safe by construction: every service request is idempotent (results are
+keyed on content fingerprints).
+
 Typical use::
 
     from repro.service import ServiceClient
@@ -11,7 +19,7 @@ Typical use::
     client = ServiceClient(port=8181)
     client.health()
     makespan = client.simulate(task, cores=4)
-    bounds = client.analyse(task, cores=[2, 4, 8])
+    bounds = client.analyse(task, cores=[2, 4, 8], timeout=10.0)
 """
 
 from __future__ import annotations
@@ -21,11 +29,60 @@ import urllib.error
 import urllib.request
 from typing import Iterable, Optional, Union
 
-from ..core.exceptions import ServiceError
+from ..core.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from ..core.task import DagTask
 from ..io.json_io import task_to_dict
+from ..resilience import retry_call
 
 __all__ = ["ServiceClient"]
+
+
+def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceError:
+    """Map an HTTP error response onto the service exception hierarchy.
+
+    Understands both the structured envelope (``{"error": {"code",
+    "message", "retryable", ...}}``) and a bare string ``error`` field, so
+    the client keeps working against older servers.
+    """
+    message: Optional[str] = None
+    retryable: Optional[bool] = None
+    retry_after: Optional[float] = None
+    try:
+        envelope = json.loads(error.read().decode("utf-8")).get("error")
+    except Exception:  # noqa: BLE001 - no JSON body on the error
+        envelope = None
+    if isinstance(envelope, dict):
+        message = envelope.get("message")
+        retryable = envelope.get("retryable")
+        retry_after = envelope.get("retry_after")
+    elif isinstance(envelope, str):
+        message = envelope
+    if retry_after is None:
+        header = error.headers.get("Retry-After") if error.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+    message = message or f"service returned HTTP {error.code} for {path}"
+    if error.code == 429:
+        return ServiceOverloadedError(message, retry_after=retry_after)
+    if error.code == 503:
+        mapped: ServiceError = ServiceClosedError(message)
+    elif error.code == 504:
+        mapped = ServiceTimeoutError(message)
+    else:
+        mapped = ServiceError(message)
+    if retryable is not None:
+        mapped.retryable = bool(retryable)  # instance attr shadows the class hint
+    if retry_after is not None:
+        mapped.retry_after = retry_after  # type: ignore[attr-defined]
+    return mapped
 
 
 class ServiceClient:
@@ -36,9 +93,20 @@ class ServiceClient:
     host, port:
         Where the service listens; alternatively pass a full ``base_url``.
     timeout:
-        Per-request socket timeout in seconds.  Exact-makespan requests can
+        Default per-request socket timeout in seconds, used by every call
+        unless it passes its own.  Exact-makespan requests can
         legitimately run long -- size the timeout to the hardest instance
         you intend to submit.
+    retries:
+        Retries per request *after* the first attempt (``0`` disables).
+        Only transient failures are retried: connection errors, and HTTP
+        errors whose envelope marks them retryable.
+    backoff, backoff_max:
+        Exponential backoff schedule of those retries (seconds); a
+        ``Retry-After`` from the server floors each delay.
+    retry_seed:
+        Seed of the backoff jitter stream; ``None`` (default) disables
+        jitter entirely so retry timing is deterministic.
     """
 
     def __init__(
@@ -48,14 +116,26 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         base_url: Optional[str] = None,
+        retries: int = 2,
+        backoff: float = 0.1,
+        backoff_max: float = 5.0,
+        retry_seed: Optional[int] = None,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = (base_url or f"http://{host}:{port}").rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.retry_seed = retry_seed
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(self, path: str, document: Optional[dict] = None) -> dict:
+    def _request_once(
+        self, path: str, document: Optional[dict], timeout: float
+    ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if document is not None:
@@ -65,20 +145,34 @@ class ServiceClient:
             f"{self.base_url}{path}", data=data, headers=headers
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            try:
-                message = json.loads(error.read().decode("utf-8")).get("error")
-            except Exception:  # noqa: BLE001 - no JSON body on the error
-                message = None
-            raise ServiceError(
-                message or f"service returned HTTP {error.code} for {path}"
-            ) from error
+            raise _error_from_response(error, path) from error
         except urllib.error.URLError as error:
-            raise ServiceError(
+            unreachable = ServiceError(
                 f"cannot reach evaluation service at {self.base_url}: {error.reason}"
-            ) from error
+            )
+            unreachable.retryable = True  # connection-level: safe to retry
+            raise unreachable from error
+
+    def _request(
+        self,
+        path: str,
+        document: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        effective = self.timeout if timeout is None else timeout
+        return retry_call(
+            lambda: self._request_once(path, document, effective),
+            attempts=self.retries + 1,
+            base_delay=self.backoff,
+            max_delay=self.backoff_max,
+            seed=self.retry_seed,
+            retry_on=(ServiceError,),
+            should_retry=lambda error: bool(getattr(error, "retryable", False)),
+            retry_after=lambda error: getattr(error, "retry_after", None),
+        )
 
     @staticmethod
     def _task_document(task: Union[DagTask, dict]) -> dict:
@@ -87,13 +181,13 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def health(self) -> dict:
+    def health(self, *, timeout: Optional[float] = None) -> dict:
         """Liveness probe (``GET /health``)."""
-        return self._request("/health")
+        return self._request("/health", timeout=timeout)
 
-    def stats(self) -> dict:
+    def stats(self, *, timeout: Optional[float] = None) -> dict:
         """Service counters (``GET /stats``)."""
-        return self._request("/stats")
+        return self._request("/stats", timeout=timeout)
 
     def simulate(
         self,
@@ -105,8 +199,16 @@ class ServiceClient:
         policy_seed: Optional[int] = None,
         priorities: Optional[dict] = None,
         offload_enabled: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> float:
-        """Makespan of one simulated execution (``POST /simulate``)."""
+        """Makespan of one simulated execution (``POST /simulate``).
+
+        ``timeout`` bounds this call's socket wait; ``deadline`` is
+        forwarded to the server as the request's service-side deadline
+        (the request fails with HTTP 504 once it expires, even while
+        queued).
+        """
         document = {
             "task": self._task_document(task),
             "cores": cores,
@@ -120,7 +222,11 @@ class ServiceClient:
             document["priorities"] = {
                 str(node): value for node, value in priorities.items()
             }
-        return float(self._request("/simulate", document)["makespan"])
+        if deadline is not None:
+            document["timeout"] = deadline
+        return float(
+            self._request("/simulate", document, timeout=timeout)["makespan"]
+        )
 
     def analyse(
         self,
@@ -128,6 +234,8 @@ class ServiceClient:
         cores: Union[int, Iterable[int]] = 2,
         *,
         include_naive: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> dict:
         """Response-time bounds per core count (``POST /analyse``)."""
         document = {
@@ -135,7 +243,9 @@ class ServiceClient:
             "cores": cores if isinstance(cores, int) else list(cores),
             "include_naive": include_naive,
         }
-        return self._request("/analyse", document)
+        if deadline is not None:
+            document["timeout"] = deadline
+        return self._request("/analyse", document, timeout=timeout)
 
     def makespan(
         self,
@@ -145,6 +255,8 @@ class ServiceClient:
         *,
         method: str = "auto",
         time_limit: Optional[float] = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> dict:
         """Exact minimum makespan + witness schedule (``POST /makespan``)."""
         document = {
@@ -155,4 +267,6 @@ class ServiceClient:
         }
         if time_limit is not None:
             document["time_limit"] = time_limit
-        return self._request("/makespan", document)
+        if deadline is not None:
+            document["timeout"] = deadline
+        return self._request("/makespan", document, timeout=timeout)

@@ -52,10 +52,16 @@ from typing import Iterable, Optional, Union
 
 from ..analysis.batch import TaskAnalysis, analyse_many
 from ..analysis.results import ResponseTimeResult
-from ..core.exceptions import ServiceClosedError
+from ..core.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from ..core.task import DagTask
 from ..ilp.batch import minimum_makespans_many
 from ..ilp.makespan import MakespanMethod, MakespanResult
+from ..parallel import worker_respawn_count
+from ..resilience import FAULTS, CircuitBreaker, Deadline, fault_point
 from ..simulation.batch import simulate_many
 from ..simulation.engine import simulate_makespan
 from ..simulation.platform import Platform
@@ -201,10 +207,16 @@ def analysis_payload(analysis: TaskAnalysis) -> dict:
 
 
 def makespan_payload(result: MakespanResult) -> dict:
-    """Payload of a ``makespan`` request (value + witness schedule)."""
+    """Payload of a ``makespan`` request (value + witness schedule).
+
+    ``degraded`` marks a bound-sandwich fallback answer (budget exhausted
+    or breaker open): a verified upper bound, never the claimed optimum,
+    and never admitted to the result cache.
+    """
     return {
         "makespan": float(result.makespan),
         "optimal": bool(result.optimal),
+        "degraded": bool(result.degraded),
         "method": result.method.value,
         "cores": result.cores,
         "accelerators": result.accelerators,
@@ -240,10 +252,32 @@ class EvaluationService:
         Worker-process count forwarded to the batched engines (``None``
         keeps them serial; the lockstep kernel usually saturates a core per
         batch already).
+    default_timeout:
+        Per-request deadline in seconds applied when a submission does not
+        pass its own ``timeout`` (``None`` = wait forever).  The deadline
+        is absolute: queueing time counts against it, and a request whose
+        deadline expires while parked is failed with
+        :class:`~repro.core.exceptions.ServiceTimeoutError` before any
+        engine is invoked on its behalf.
+    max_pending, max_pending_cost:
+        Admission bounds of the micro-batching queue (``None`` =
+        unbounded); cost is measured in task nodes.  Requests past a bound
+        are shed with
+        :class:`~repro.core.exceptions.ServiceOverloadedError`.
+    oracle_budget:
+        Wall-clock seconds each exact-makespan batch may spend before the
+        remaining instances degrade to the verified bound sandwich
+        (``None`` = unbudgeted, the exact engines run to completion).
+    breaker_threshold, breaker_reset:
+        Circuit breaker over the exact-makespan engines: after
+        ``breaker_threshold`` consecutive failed/degraded batches the
+        breaker opens and makespan requests degrade immediately for
+        ``breaker_reset`` seconds.
 
     Thread-safe: requests may be submitted from any number of threads;
-    :meth:`close` drains the queue before returning.  Usable as a context
-    manager.
+    :meth:`close` drains the queue before returning -- every accepted
+    request is resolved (served, failed or timed out), never abandoned.
+    Usable as a context manager.
     """
 
     def __init__(
@@ -254,9 +288,22 @@ class EvaluationService:
         quiet_interval: float = 0.002,
         max_batch: int = 512,
         jobs: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        max_pending: Optional[int] = None,
+        max_pending_cost: Optional[int] = None,
+        oracle_budget: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 30.0,
     ) -> None:
         self.cache = ResultCache(max_bytes=cache_bytes)
         self._jobs = jobs
+        self._default_timeout = default_timeout
+        self._oracle_budget = oracle_budget
+        self._oracle_breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset,
+            name="oracle",
+        )
         self._lock = threading.Lock()
         self._inflight: dict[str, BatchRequest] = {}
         self._requests = {"simulate": 0, "analyse": 0, "makespan": 0}
@@ -264,12 +311,18 @@ class EvaluationService:
         self._engine_batches = 0
         self._evaluated_cells = 0
         self._solo_evaluations = 0
+        self._timeouts = 0
+        self._shed = 0
+        self._degraded = 0
         self._closed = False
         self._batcher = MicroBatcher(
             self._execute_batch,
             flush_interval=flush_interval,
             quiet_interval=quiet_interval,
             max_batch=max_batch,
+            max_pending=max_pending,
+            max_pending_cost=max_pending_cost,
+            on_abandon=self._abort,
         )
 
     # ------------------------------------------------------------------
@@ -438,11 +491,20 @@ class EvaluationService:
                 "solo_evaluations": self._solo_evaluations,
                 "inflight_joins": self._inflight_joins,
             }
+            resilience = {
+                "timeouts": self._timeouts,
+                "shed": self._shed,
+                "degraded": self._degraded,
+            }
+        resilience["breaker"] = self._oracle_breaker.stats()
+        resilience["worker_respawns"] = worker_respawn_count()
+        resilience["faults"] = FAULTS.stats()
         return {
             "requests": requests,
             "cache": self.cache.stats(),
             "batching": self._batcher.stats(),
             "engine": engine,
+            "resilience": resilience,
             "jobs": self._jobs,
             "closed": self.closed,
         }
@@ -465,6 +527,9 @@ class EvaluationService:
                     "evaluation service is closed; no further requests accepted"
                 )
             self._requests[kind] += 1
+        if timeout is None:
+            timeout = self._default_timeout
+        deadline = Deadline.after(timeout)
         cached = self.cache.get(fingerprint)
         if cached is not None:
             return _copy_payload(cached)
@@ -477,26 +542,56 @@ class EvaluationService:
                     group_key=group_key,
                     task=task,
                     params=params,
+                    deadline=deadline,
+                    cost=max(1, len(task.graph.nodes())),
                 )
                 self._inflight[fingerprint] = request
             else:
                 self._inflight_joins += 1
         if leader is not None:
-            return _copy_payload(leader.wait(timeout))
+            return _copy_payload(self._wait(leader, deadline))
         try:
             self._batcher.submit(request)
         except BaseException as error:
+            if isinstance(error, ServiceOverloadedError):
+                with self._lock:
+                    self._shed += 1
             # Fail the request before retiring it: concurrent duplicates may
             # already be parked on its event and would otherwise wait forever.
             request.fail(error)
             with self._lock:
                 self._inflight.pop(fingerprint, None)
             raise
-        return _copy_payload(request.wait(timeout))
+        return _copy_payload(self._wait(request, deadline))
+
+    def _wait(self, request: BatchRequest, deadline: Deadline) -> object:
+        """Await ``request`` under the caller's deadline, counting timeouts.
+
+        A caller-side expiry (the wait ran out) is counted here; a
+        batch-side expiry (the parked request's own deadline expired before
+        its flush) was already counted when the executor aborted it -- the
+        re-raise of that stored error must not count twice.
+        """
+        try:
+            return request.wait(deadline.remaining())
+        except ServiceTimeoutError as error:
+            if error is not request.error:
+                with self._lock:
+                    self._timeouts += 1
+            raise
 
     def _finish(self, request: BatchRequest, payload: dict) -> None:
-        """Cache, resolve and retire one served request (in that order)."""
-        self.cache.put(request.fingerprint, payload)
+        """Cache, resolve and retire one served request (in that order).
+
+        Degraded payloads (bound sandwich instead of the exact optimum)
+        are resolved to their callers but **never cached**: a later
+        identical request must get a fresh chance at the exact answer.
+        """
+        if isinstance(payload, dict) and payload.get("degraded"):
+            with self._lock:
+                self._degraded += 1
+        else:
+            self.cache.put(request.fingerprint, payload)
         request.resolve(payload)
         with self._lock:
             self._inflight.pop(request.fingerprint, None)
@@ -517,16 +612,30 @@ class EvaluationService:
         # has no access to the in-flight table -- so nothing may escape
         # this method with requests unresolved.
         try:
+            fault_point("service.batch")
             # Requests that raced with an insertion of the same fingerprint
             # (cache filled between the miss and the flush) resolve
-            # instantly.
+            # instantly; requests whose deadline expired while parked are
+            # timed out *before* any engine runs on their behalf.
             work: list[BatchRequest] = []
             for request in batch:
                 cached = self.cache.peek(request.fingerprint)
                 if cached is not None:
                     self._finish(request, cached)
-                else:
-                    work.append(request)
+                    continue
+                if request.deadline is not None and request.deadline.expired:
+                    with self._lock:
+                        self._timeouts += 1
+                    self._abort(
+                        request,
+                        ServiceTimeoutError(
+                            f"{request.kind} request "
+                            f"{request.fingerprint[:12]} expired in the "
+                            f"queue before its batch was executed"
+                        ),
+                    )
+                    continue
+                work.append(request)
             groups: dict[tuple, list[BatchRequest]] = {}
             for request in work:
                 groups.setdefault((request.kind, request.group_key), []).append(
@@ -587,6 +696,8 @@ class EvaluationService:
                             accelerators=params["accelerators"],
                             method=MakespanMethod(params["method"]),
                             time_limit=params["time_limit"],
+                            budget=self._oracle_budget,
+                            breaker=self._oracle_breaker,
                         )[0]
                     )
                 self._count_engine_call(1, solo=True)
@@ -716,6 +827,8 @@ class EvaluationService:
             method=MakespanMethod(params["method"]),
             time_limit=params["time_limit"],
             jobs=self._jobs,
+            budget=self._oracle_budget,
+            breaker=self._oracle_breaker,
         )
         self._count_engine_call(len(requests))
         for request, result in zip(requests, results):

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
+import math
 import signal
 import sys
 import threading
@@ -40,10 +42,19 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Sequence
 
-from ..core.exceptions import ReproError, ServiceClosedError, ServiceError
+from ..core.exceptions import (
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from ..io.json_io import task_from_dict
+from ..resilience import FAULTS
 from ..simulation.platform import Platform
 from .facade import EvaluationService
+
+_LOG = logging.getLogger("repro.service.http")
 
 __all__ = [
     "ServiceHTTPServer",
@@ -66,13 +77,47 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging (the service keeps counters)."""
 
-    def _send_json(self, status: int, document: dict) -> None:
+    def _send_json(
+        self, status: int, document: dict, retry_after: Optional[float] = None
+    ) -> None:
         body = json.dumps(document).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retryable: bool,
+        retry_after: Optional[float] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        """Send the stable error envelope every failure path shares.
+
+        ``code`` is a machine-readable slug (clients dispatch on it, not on
+        the message text), ``retryable`` tells clients whether re-sending
+        the identical request can ever succeed, and ``retry_after`` -- when
+        present -- is mirrored as a ``Retry-After`` header (whole seconds,
+        rounded up, as HTTP requires).
+        """
+        envelope: dict = {
+            "code": code,
+            "message": message,
+            "retryable": bool(retryable),
+        }
+        if retry_after is not None:
+            envelope["retry_after"] = float(retry_after)
+        document = {"error": envelope}
+        if extra:
+            document.update(extra)
+        self._send_json(status, document, retry_after=retry_after)
 
     def _read_document(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -108,17 +153,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
         elif self.path == "/stats":
             self._send_json(200, self.server.service.stats())
         else:
-            self._send_json(
+            self._send_error(
                 404,
-                {
-                    "error": f"unknown path {self.path!r}",
+                "not-found",
+                f"unknown path {self.path!r}",
+                retryable=False,
+                extra={
                     "endpoints": [
                         "GET /health",
                         "GET /stats",
                         "POST /simulate",
                         "POST /analyse",
                         "POST /makespan",
-                    ],
+                    ]
                 },
             )
 
@@ -126,6 +173,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         service = self.server.service
         try:
             document = self._read_document()
+            timeout = document.get("timeout")
             if self.path == "/simulate":
                 makespan = service.submit_simulation(
                     self._task_of(document),
@@ -134,6 +182,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     policy_seed=document.get("policy_seed"),
                     priorities=document.get("priorities"),
                     offload_enabled=document.get("offload_enabled", True),
+                    timeout=timeout,
                 )
                 self._send_json(200, {"makespan": makespan})
             elif self.path == "/analyse":
@@ -141,6 +190,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     self._task_of(document),
                     document.get("cores", 2),
                     include_naive=document.get("include_naive", True),
+                    timeout=timeout,
                 )
                 self._send_json(200, payload)
             elif self.path == "/makespan":
@@ -150,21 +200,48 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     accelerators=document.get("accelerators", 1),
                     method=document.get("method", "auto"),
                     time_limit=document.get("time_limit"),
+                    timeout=timeout,
                 )
                 self._send_json(200, payload)
             else:
-                self._send_json(404, {"error": f"unknown path {self.path!r}"})
+                self._send_error(
+                    404, "not-found", f"unknown path {self.path!r}", retryable=False
+                )
+        except ServiceOverloadedError as error:
+            self._send_error(
+                429,
+                "overloaded",
+                str(error),
+                retryable=True,
+                retry_after=error.retry_after,
+            )
         except ServiceClosedError as error:
-            self._send_json(503, {"error": str(error)})
+            # Usually a drain in progress; a restarted service will serve
+            # the retry (requests are idempotent by fingerprint).
+            self._send_error(
+                503, "closed", str(error), retryable=True, retry_after=1.0
+            )
+        except ServiceTimeoutError as error:
+            self._send_error(504, "timeout", str(error), retryable=True)
         except ServiceError as error:
-            # Server-side faults (batch-wait timeout, the batcher's
+            # Server-side faults (executor exceptions, the batcher's
             # defensive unresolved-request net): not the client's doing.
-            self._send_json(500, {"error": str(error)})
+            self._send_error(
+                500,
+                "server-error",
+                str(error),
+                retryable=bool(getattr(error, "retryable", False)),
+            )
         except (ReproError, ValueError, KeyError, TypeError) as error:
             message = error.args[0] if error.args else error
-            self._send_json(400, {"error": str(message)})
-        except Exception as error:  # noqa: BLE001 - report, don't kill the thread
-            self._send_json(500, {"error": f"internal error: {error}"})
+            self._send_error(400, "bad-request", str(message), retryable=False)
+        except Exception:  # noqa: BLE001 - report, don't kill the thread
+            # The traceback belongs in the server log; leaking repr(error)
+            # to remote callers exposes internals and is useless to them.
+            _LOG.exception("unhandled error while serving POST %s", self.path)
+            self._send_error(
+                500, "internal", "internal server error", retryable=False
+            )
 
 
 def _platform_of(document: dict) -> Platform:
@@ -262,6 +339,48 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="pending-request count that triggers an immediate flush",
     )
     parser.add_argument(
+        "--default-timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in seconds applied when a request does "
+        "not carry its own 'timeout' field (default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="shed requests (HTTP 429) once this many are parked in the "
+        "micro-batching queue (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-pending-cost",
+        type=int,
+        default=None,
+        help="shed requests (HTTP 429) once the parked queue holds this "
+        "many task nodes in total (default: unbounded)",
+    )
+    parser.add_argument(
+        "--oracle-budget",
+        type=float,
+        default=None,
+        help="wall-clock seconds per exact-makespan batch before the rest "
+        "of the batch degrades to verified bounds (default: unbudgeted)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failed/degraded oracle batches that open the "
+        "circuit breaker",
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="seconds the oracle circuit breaker stays open before probing "
+        "the exact engines again",
+    )
+    parser.add_argument(
         "--port-file",
         default=None,
         help="write the bound port to this file once listening "
@@ -278,6 +397,12 @@ def serve_from_args(args: argparse.Namespace) -> int:
             quiet_interval=args.quiet_interval,
             max_batch=args.max_batch,
             jobs=args.jobs,
+            default_timeout=args.default_timeout,
+            max_pending=args.max_pending,
+            max_pending_cost=args.max_pending_cost,
+            oracle_budget=args.oracle_budget,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset=args.breaker_reset,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -313,18 +438,31 @@ def serve_from_args(args: argparse.Namespace) -> int:
         f"max batch {args.max_batch})",
         flush=True,
     )
+    if FAULTS.enabled:
+        armed = ", ".join(sorted(FAULTS.stats()["points"]))
+        print(f"fault injection ARMED via REPRO_FAULTS: {armed}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down (draining in-flight requests)...", flush=True)
     finally:
-        server.server_close()
+        # Two-phase drain, in this order: close the *service* first so
+        # every accepted request is resolved while the handler threads can
+        # still write their responses (requests arriving during the drain
+        # are answered 503), then tear the listening socket down.  The
+        # short grace lets the (daemon) handler threads flush the last
+        # already-resolved responses onto the wire.
         service.close()
+        time.sleep(0.2)
+        server.server_close()
     stats = service.stats()
     print(
         f"served {stats['requests']['total']} requests in "
         f"{stats['batching']['batches']} batches "
-        f"({stats['cache']['hits']} cache hits)",
+        f"({stats['cache']['hits']} cache hits, "
+        f"{stats['resilience']['timeouts']} timeouts, "
+        f"{stats['resilience']['shed']} shed, "
+        f"{stats['resilience']['degraded']} degraded)",
         flush=True,
     )
     return 0

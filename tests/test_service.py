@@ -27,7 +27,12 @@ from hypothesis import strategies as st
 
 from repro.analysis.batch import analyse_many
 from repro.core.examples import figure1_task
-from repro.core.exceptions import ServiceClosedError, ServiceError
+from repro.core.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
 from repro.core.task import DagTask
 from repro.ilp.makespan import minimum_makespan
 from repro.service import (
@@ -752,3 +757,112 @@ class TestHTTPTransport:
         client = ServiceClient(port=1, timeout=1)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.health()
+
+
+# ----------------------------------------------------------------------
+# PR 6 resilience: failure counters and lifecycle races
+# ----------------------------------------------------------------------
+PARKED_BATCHING = dict(flush_interval=30.0, quiet_interval=10.0)
+
+
+class TestServiceResilience:
+    def test_submit_vs_close_race_never_loses_a_request(self):
+        # Hammer the submit()/close() race at the service level: every
+        # submission must either return a real result or raise
+        # ServiceClosedError -- never hang, never vanish.
+        task = figure1_task(period=20, deadline=15)
+        reference = simulate_makespan(
+            task, Platform(2), policy_by_name("breadth-first")
+        )
+        for _ in range(10):
+            service = EvaluationService(
+                flush_interval=0.002, quiet_interval=0.0005
+            )
+            outcomes: list = []
+            lock = threading.Lock()
+            start = threading.Barrier(5)
+
+            def submitter(seed, service=service, outcomes=outcomes, lock=lock, start=start):
+                start.wait()
+                for _ in range(5):
+                    try:
+                        value = service.submit_simulation(task, 2, timeout=30)
+                        with lock:
+                            outcomes.append(("ok", value))
+                    except ServiceClosedError:
+                        with lock:
+                            outcomes.append(("closed", None))
+
+            threads = [
+                threading.Thread(target=submitter, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            service.close()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+            assert len(outcomes) == 20
+            for status, value in outcomes:
+                if status == "ok":
+                    assert value == reference
+
+    def test_failure_counters_stay_consistent(self):
+        # One service, every failure mode at once: a caller-side timeout, a
+        # batch-side parked expiry (same request -- the documented double
+        # count), one shed request and one degraded oracle batch tripping
+        # the breaker.  stats() must partition them consistently.
+        from strategies import make_random_integer_heterogeneous_task
+
+        tasks = [
+            make_random_integer_heterogeneous_task(seed, 0.2, n_max=8)
+            for seed in (500, 501, 502)
+        ]
+        service = EvaluationService(
+            max_pending=2,
+            oracle_budget=0.0,
+            breaker_threshold=1,
+            **PARKED_BATCHING,
+        )
+        outcome: dict = {}
+
+        def background(task=tasks[0]):
+            outcome["payload"] = service.submit_makespan(task, 2)
+
+        worker = threading.Thread(target=background)
+        worker.start()
+        deadline = time.monotonic() + 10.0
+        while (
+            service.stats()["batching"]["pending"] < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        with pytest.raises(ServiceTimeoutError):
+            service.submit_makespan(tasks[1], 2, timeout=0.05)
+        with pytest.raises(ServiceOverloadedError) as shed_info:
+            service.submit_makespan(tasks[2], 2)
+        assert shed_info.value.retry_after > 0
+        service.close()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+
+        payload = outcome["payload"]  # the accepted request was resolved
+        assert payload["degraded"] and not payload["optimal"]
+
+        stats = service.stats()
+        resilience = stats["resilience"]
+        # tasks[1] timed out twice: once caller-side, once when its parked
+        # deadline expired in the drain flush.
+        assert resilience["timeouts"] == 2
+        assert resilience["shed"] == 1
+        assert resilience["shed"] == stats["batching"]["shed"]
+        assert resilience["degraded"] == 1
+        breaker = resilience["breaker"]
+        assert breaker["trips"] == 1
+        assert breaker["failures"] == 1
+        assert breaker["state"] == "open"
+        assert resilience["faults"]["enabled"] is False
+        # All three submissions were counted; only tasks[0] reached an engine.
+        assert stats["requests"]["makespan"] == 3
+        assert stats["engine"]["batches"] == 1
