@@ -23,8 +23,11 @@ checks the PR-6 resilience contract from the outside:
   degraded ones claims optimality), at least one is exact;
 * ``/stats`` shows the worker respawn, the shed count, the degraded count
   and the tripped oracle breaker; the kill token was consumed;
-* ``SIGTERM`` drains cleanly: the process exits 0 after resolving
-  everything it accepted.
+* ``SIGTERM`` drains cleanly *and visibly*: a fourth fault
+  (``service.drain:hang``) wedges the close-flush so the drain window is
+  wide enough to probe -- ``/health`` must report ``draining`` (503), a
+  POST during the drain must be refused ``closed``, every request accepted
+  before the drain must still resolve, and the process exits 0.
 
 Run with:  python benchmarks/chaos_smoke.py
 """
@@ -36,6 +39,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -48,6 +52,7 @@ if _SRC.is_dir() and str(_SRC) not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.core.exceptions import (  # noqa: E402
+    ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
 )
@@ -95,7 +100,8 @@ def _boot_server(tmp: Path, token: Path) -> tuple[subprocess.Popen, int]:
     env["REPRO_FAULTS"] = (
         "service.batch:hang:delay=1.0:times=2;"
         f"parallel.chunk:kill:token={token}:times=inf;"
-        "oracle.solve:hang:delay=0.25:times=inf"
+        "oracle.solve:hang:delay=0.25:times=inf;"
+        "service.drain:hang:delay=1.5:times=1"
     )
     process = subprocess.Popen(
         [
@@ -226,8 +232,86 @@ def main() -> int:
         assert resilience["breaker"]["trips"] >= 1
         assert not token.exists(), "kill token was never consumed"
 
-        # --- phase 4: SIGTERM drains cleanly ----------------------------
+        # --- phase 4: SIGTERM drains cleanly, and /health says so -------
+        # A stream of fresh simulate requests keeps the queue non-empty,
+        # so the close-flush exists and service.drain:hang wedges it for
+        # 1.5 s -- a wide, deterministic window in which /health must
+        # report "draining" and a new POST must be refused "closed".
+        stream_outcomes: list[str] = []
+        outcome_lock = threading.Lock()
+        stream_stop = threading.Event()
+
+        def stream(worker: int) -> None:
+            seed = 20000 + worker * 1000
+            while not stream_stop.is_set():
+                task = _tasks(1, root_seed=seed)[0]
+                seed += 1
+                try:
+                    makespan = client.simulate(task, cores=2)
+                    assert float(makespan) > 0.0
+                    outcome = "ok"
+                except ServiceClosedError:
+                    outcome = "closed"
+                except ServiceOverloadedError:
+                    outcome = "shed"
+                except ServiceError as error:
+                    # Connection-level failure on a *new* request after the
+                    # listener went down is equivalent to "closed"; anything
+                    # else structured is a real failure.
+                    outcome = (
+                        "closed"
+                        if getattr(error, "retryable", False)
+                        else "unexpected"
+                    )
+                with outcome_lock:
+                    stream_outcomes.append(outcome)
+                if outcome in ("closed", "unexpected"):
+                    return
+
+        streamers = [
+            threading.Thread(target=stream, args=(i,)) for i in range(8)
+        ]
+        for thread in streamers:
+            thread.start()
+        time.sleep(0.5)  # the stream is established
         process.send_signal(signal.SIGTERM)
+
+        draining_seen = False
+        probe_samples: list[tuple[float, str]] = []
+        probe_start = time.monotonic()
+        probe_deadline = probe_start + 5.0
+        while time.monotonic() < probe_deadline:
+            try:
+                status = client.health(timeout=2)["status"]
+            except ServiceError as error:
+                probe_samples.append(
+                    (time.monotonic() - probe_start, f"error: {error}")
+                )
+                break  # listener already torn down
+            probe_samples.append((time.monotonic() - probe_start, status))
+            if status == "draining":
+                draining_seen = True
+                break
+            time.sleep(0.02)
+        if not draining_seen:
+            for offset, status in probe_samples:
+                print(f"  probe +{offset:.3f}s: {status}", flush=True)
+        assert draining_seen, "/health never reported 'draining' during drain"
+        try:
+            client.simulate(_tasks(1, root_seed=31000)[0], cores=2)
+            raise AssertionError("POST accepted during the drain")
+        except (ServiceClosedError, ServiceError):
+            pass  # refused (503 closed) or the listener is already gone
+        stream_stop.set()
+        for thread in streamers:
+            thread.join(timeout=120)
+        assert "unexpected" not in stream_outcomes, stream_outcomes
+        print(
+            f"drain stream: {stream_outcomes.count('ok')} ok, "
+            f"{stream_outcomes.count('shed')} shed, "
+            f"{stream_outcomes.count('closed')} refused after close; "
+            f"/health reported 'draining' during the drain window"
+        )
         output = process.communicate(timeout=60)[0]
         print(output, end="")
         assert process.returncode == 0, f"exit {process.returncode}"

@@ -1,12 +1,16 @@
-"""Long-lived evaluation service over the batched engines (PR 5, PR 6).
+"""Long-lived evaluation service over the batched engines (PR 5-7).
 
 The serving layer of the reproduction: a cache-backed, micro-batching
 facade that amortises compilation, analysis and simulation across requests
 the way the one-shot CLI/driver entry points cannot.  PR 6 added the
 failure semantics: per-request deadlines, bounded admission with load
 shedding, a circuit-broken degraded oracle mode and a drain that resolves
-every accepted request.  See ``docs/service.md`` for the architecture,
-capacity-tuning notes and the failure-mode runbook.
+every accepted request.  PR 7 made it observable: a dependency-free
+metrics registry threaded through every layer and exposed on
+``GET /metrics`` (Prometheus text or JSON), with a sustained-load SLO
+harness gating regressions in CI.  See ``docs/service.md`` for the
+architecture, capacity-tuning notes, the metric catalogue and the
+failure-mode runbook.
 
 Modules
 -------
@@ -15,6 +19,9 @@ Modules
 :mod:`~repro.service.cache`
     Thread-safe byte-capped LRU result store with hit/miss/eviction
     counters.
+:mod:`~repro.service.metrics`
+    Counters, gauges and fixed-bucket latency histograms with p50/p95/p99
+    estimation; JSON + Prometheus text rendering.
 :mod:`~repro.service.batching`
     Deadline/size-triggered micro-batching request queue.
 :mod:`~repro.service.facade`
@@ -49,8 +56,13 @@ from .fingerprint import (
     task_fingerprint,
 )
 from .http import ServiceHTTPServer, start_server
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "EvaluationService",
     "ServiceError",
     "ServiceClosedError",

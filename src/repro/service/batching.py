@@ -57,6 +57,12 @@ from ..core.exceptions import (
     ServiceTimeoutError,
 )
 from ..resilience import Deadline, fault_point
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    MetricsRegistry,
+)
 
 __all__ = ["BatchRequest", "MicroBatcher"]
 
@@ -86,6 +92,9 @@ class BatchRequest:
     cost:
         Admission-control weight (the facade uses the task's node count);
         counted against ``max_pending_cost``.
+    enqueued_at:
+        ``time.monotonic()`` stamp set at admission; the flush observes
+        ``now - enqueued_at`` as the request's queue-wait time.
     """
 
     kind: str
@@ -95,6 +104,7 @@ class BatchRequest:
     params: dict
     deadline: Optional[Deadline] = None
     cost: int = 1
+    enqueued_at: float = 0.0
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     result: object = None
     error: Optional[BaseException] = None
@@ -156,6 +166,12 @@ class MicroBatcher:
         request ends up failed even if the hook itself misbehaves.
     name:
         Worker-thread name (visible in diagnostics).
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry`.  When
+        given, the batcher publishes its queue-wait histogram, batch-size
+        and occupancy histograms, flush-trigger breakdown and shed count
+        there, updated in the same locked sections as the ``stats()``
+        counters so the two views cannot drift apart.
     """
 
     def __init__(
@@ -169,6 +185,7 @@ class MicroBatcher:
         max_pending_cost: Optional[int] = None,
         on_abandon: Optional[Callable[[BatchRequest, BaseException], None]] = None,
         name: str = "repro-service-batcher",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if flush_interval < 0:
             raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
@@ -203,6 +220,39 @@ class MicroBatcher:
         self._batches = 0
         self._largest_batch = 0
         self._flushes = {"quiet": 0, "deadline": 0, "size": 0, "close": 0}
+        if metrics is not None:
+            self._metric_queue_wait = metrics.histogram(
+                "repro_service_queue_wait_seconds",
+                "Time a request spent parked in the micro-batch queue "
+                "before its flush started.",
+                buckets=LATENCY_BUCKETS,
+            )
+            self._metric_batch_size = metrics.histogram(
+                "repro_service_batch_size",
+                "Requests per flushed batch.",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            self._metric_occupancy = metrics.histogram(
+                "repro_service_batch_occupancy_ratio",
+                "Flushed batch size as a fraction of max_batch.",
+                buckets=OCCUPANCY_BUCKETS,
+            )
+            self._metric_flushes = metrics.counter(
+                "repro_service_batch_flushes_total",
+                "Flushed batches by trigger (quiet/deadline/size/close).",
+                labels=("trigger",),
+            )
+            self._metric_shed = metrics.counter(
+                "repro_service_batch_shed_total",
+                "Requests refused at admission because a queue bound "
+                "(max_pending / max_pending_cost) would be exceeded.",
+            )
+        else:
+            self._metric_queue_wait = None
+            self._metric_batch_size = None
+            self._metric_occupancy = None
+            self._metric_flushes = None
+            self._metric_shed = None
         self._worker = threading.Thread(target=self._run, name=name, daemon=True)
         self._worker.start()
 
@@ -237,6 +287,8 @@ class MicroBatcher:
                 and len(self._pending) >= self.max_pending
             ):
                 self._shed += 1
+                if self._metric_shed is not None:
+                    self._metric_shed.inc()
                 raise ServiceOverloadedError(
                     f"evaluation service overloaded: {len(self._pending)} "
                     f"requests pending (max_pending={self.max_pending})",
@@ -248,6 +300,8 @@ class MicroBatcher:
                 and self._pending_cost + request.cost > self.max_pending_cost
             ):
                 self._shed += 1
+                if self._metric_shed is not None:
+                    self._metric_shed.inc()
                 raise ServiceOverloadedError(
                     f"evaluation service overloaded: pending cost "
                     f"{self._pending_cost} + {request.cost} exceeds "
@@ -258,6 +312,7 @@ class MicroBatcher:
             if not self._pending:
                 self._oldest = now
             self._latest = now
+            request.enqueued_at = now
             self._pending.append(request)
             self._pending_cost += request.cost
             self._submitted += 1
@@ -277,6 +332,16 @@ class MicroBatcher:
     def closed(self) -> bool:
         with self._condition:
             return self._closed
+
+    @property
+    def drained(self) -> bool:
+        """``True`` once the worker has flushed every parked request.
+
+        ``closed and not drained`` is the *draining* window ``/health``
+        reports: shutdown has begun but accepted work is still in flight.
+        """
+        with self._condition:
+            return self._closed and not self._worker.is_alive()
 
     # ------------------------------------------------------------------
     # Worker
@@ -326,11 +391,34 @@ class MicroBatcher:
             while True:
                 batch, reason = self._take_batch()
                 if not batch:
+                    # Fire here too: when the queue happens to be empty at
+                    # close there is no close-reason flush, and the drain
+                    # fault would otherwise silently never trigger.  The
+                    # worker thread is still alive during the fault, so the
+                    # batcher stays in the observable *draining* state.
+                    # A raise-style fault has no parked callers to fan out
+                    # to at this point; contain it so the worker exits
+                    # through the finally below instead of dying noisily.
+                    try:
+                        fault_point("service.drain")
+                    except BaseException:  # noqa: BLE001
+                        pass
                     return
                 with self._condition:
                     self._batches += 1
                     self._largest_batch = max(self._largest_batch, len(batch))
                     self._flushes[reason] += 1
+                    if self._metric_flushes is not None:
+                        now = time.monotonic()
+                        self._metric_flushes.inc(trigger=reason)
+                        self._metric_batch_size.observe(len(batch))
+                        self._metric_occupancy.observe(
+                            len(batch) / self.max_batch
+                        )
+                        for request in batch:
+                            self._metric_queue_wait.observe(
+                                max(0.0, now - request.enqueued_at)
+                            )
                 try:
                     if reason == "close":
                         fault_point("service.drain")

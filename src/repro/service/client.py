@@ -24,6 +24,7 @@ Typical use::
 
 from __future__ import annotations
 
+import http.client
 import json
 import urllib.error
 import urllib.request
@@ -83,6 +84,58 @@ def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceErr
     if retry_after is not None:
         mapped.retry_after = retry_after  # type: ignore[attr-defined]
     return mapped
+
+
+def _transport_error(base_url: str, error: Exception) -> ServiceError:
+    """Map a connection-level failure onto a retryable :class:`ServiceError`.
+
+    ``urllib`` only wraps errors raised while *opening* the connection into
+    :class:`~urllib.error.URLError`; a reset or disconnect while reading
+    the response (``ECONNRESET``, :class:`http.client.RemoteDisconnected`,
+    a socket read timeout) escapes as a raw :class:`OSError` /
+    :class:`http.client.HTTPException`.  Callers should never have to
+    catch platform socket exceptions to talk to the service, and every
+    request is idempotent by fingerprint -- so all of these collapse into
+    the same structured, retryable "cannot reach" error.
+    """
+    reason = getattr(error, "reason", error)
+    unreachable = ServiceError(
+        f"cannot reach evaluation service at {base_url}: {reason}"
+    )
+    unreachable.retryable = True  # connection-level: safe to retry
+    return unreachable
+
+
+def _wire_priorities(
+    task: Union[DagTask, dict], document: dict, priorities: dict
+) -> dict:
+    """Serialise a fixed-priority table with in-process binding semantics.
+
+    :class:`~repro.simulation.schedulers.FixedPriorityPolicy` looks nodes
+    up with plain ``==``/``hash`` (``priorities.get(node)``), while the
+    wire form stringifies every node id -- so a naive
+    ``{str(k): v for k, v in priorities.items()}`` changes which keys
+    *bind*: an int-keyed table stops matching a task whose nodes are the
+    same ints on a server that parsed them back as strings, and a key that
+    merely *prints* like some node name (int ``3`` vs node ``"3"``) starts
+    matching where it never did in process.
+
+    Binding is therefore resolved *client-side*, against the actual task
+    nodes, and only bound entries are shipped -- keyed by the node's wire
+    name, which is exactly the name the server-side task carries.  Unbound
+    keys are dropped: in process they are never looked up, so dropping
+    them is the only serialisation that cannot change the policy.
+    """
+    nodes = (
+        list(task.graph.nodes())
+        if isinstance(task, DagTask)
+        else list(document.get("nodes", {}))
+    )
+    wire: dict = {}
+    for node in nodes:
+        if node in priorities:
+            wire[str(node)] = priorities[node]
+    return wire
 
 
 class ServiceClient:
@@ -149,12 +202,12 @@ class ServiceClient:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
             raise _error_from_response(error, path) from error
-        except urllib.error.URLError as error:
-            unreachable = ServiceError(
-                f"cannot reach evaluation service at {self.base_url}: {error.reason}"
-            )
-            unreachable.retryable = True  # connection-level: safe to retry
-            raise unreachable from error
+        except (
+            urllib.error.URLError,  # must precede OSError (it is one)
+            http.client.HTTPException,
+            OSError,
+        ) as error:
+            raise _transport_error(self.base_url, error) from error
 
     def _request(
         self,
@@ -182,12 +235,70 @@ class ServiceClient:
     # Endpoints
     # ------------------------------------------------------------------
     def health(self, *, timeout: Optional[float] = None) -> dict:
-        """Liveness probe (``GET /health``)."""
-        return self._request("/health", timeout=timeout)
+        """Readiness probe (``GET /health``), single attempt.
+
+        Returns the probe document -- ``{"status": "ok" | "draining" |
+        "closed", ...}`` -- even when the server answers 503 for the
+        draining/closed phases: a probe *reports* state, it does not fail
+        on it.  No retries either; a health check is a point-in-time
+        question, and retrying would mask exactly the transient states it
+        exists to surface.  Connection-level failures still raise.
+        """
+        effective = self.timeout if timeout is None else timeout
+        request = urllib.request.Request(
+            f"{self.base_url}/health", headers={"Accept": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=effective) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            if error.code == 503:
+                try:
+                    document = json.loads(error.read().decode("utf-8"))
+                except Exception:  # noqa: BLE001 - no JSON body
+                    document = None
+                if isinstance(document, dict) and "status" in document:
+                    return document
+            raise _error_from_response(error, "/health") from error
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            OSError,
+        ) as error:
+            raise _transport_error(self.base_url, error) from error
 
     def stats(self, *, timeout: Optional[float] = None) -> dict:
         """Service counters (``GET /stats``)."""
         return self._request("/stats", timeout=timeout)
+
+    def metrics(
+        self, *, timeout: Optional[float] = None, format: str = "json"
+    ) -> Union[dict, str]:  # noqa: A002 - mirrors the wire concept
+        """Metrics registry (``GET /metrics``).
+
+        ``format="json"`` (default) returns the JSON rendering;
+        ``format="text"`` returns the Prometheus text exposition as a
+        string -- the same bytes a scraper sees.
+        """
+        if format == "json":
+            return self._request("/metrics", timeout=timeout)
+        if format != "text":
+            raise ValueError(f"format must be 'json' or 'text', got {format!r}")
+        effective = self.timeout if timeout is None else timeout
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=effective) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise _error_from_response(error, "/metrics") from error
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            OSError,
+        ) as error:
+            raise _transport_error(self.base_url, error) from error
 
     def simulate(
         self,
@@ -219,9 +330,9 @@ class ServiceClient:
         if policy_seed is not None:
             document["policy_seed"] = policy_seed
         if priorities is not None:
-            document["priorities"] = {
-                str(node): value for node, value in priorities.items()
-            }
+            document["priorities"] = _wire_priorities(
+                task, document["task"], priorities
+            )
         if deadline is not None:
             document["timeout"] = deadline
         return float(

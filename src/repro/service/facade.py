@@ -74,6 +74,7 @@ from ..simulation.schedulers import (
 )
 from .batching import BatchRequest, MicroBatcher
 from .cache import ResultCache
+from .metrics import MetricsRegistry
 from .fingerprint import (
     platform_fingerprint,
     policy_fingerprint,
@@ -273,6 +274,12 @@ class EvaluationService:
         ``breaker_threshold`` consecutive failed/degraded batches the
         breaker opens and makespan requests degrade immediately for
         ``breaker_reset`` seconds.
+    metrics:
+        Optional :class:`~repro.service.metrics.MetricsRegistry` to publish
+        into (a fresh private registry is created when omitted).  The
+        service's own counters *are* metrics-registry counters -- ``stats()``
+        reads the exact objects ``GET /metrics`` renders, so the two
+        endpoints reconcile by construction, not by double bookkeeping.
 
     Thread-safe: requests may be submitted from any number of threads;
     :meth:`close` drains the queue before returning -- every accepted
@@ -294,6 +301,7 @@ class EvaluationService:
         oracle_budget: Optional[float] = None,
         breaker_threshold: int = 5,
         breaker_reset: float = 30.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cache = ResultCache(max_bytes=cache_bytes)
         self._jobs = jobs
@@ -306,15 +314,45 @@ class EvaluationService:
         )
         self._lock = threading.Lock()
         self._inflight: dict[str, BatchRequest] = {}
-        self._requests = {"simulate": 0, "analyse": 0, "makespan": 0}
-        self._inflight_joins = 0
-        self._engine_batches = 0
-        self._evaluated_cells = 0
-        self._solo_evaluations = 0
-        self._timeouts = 0
-        self._shed = 0
-        self._degraded = 0
         self._closed = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Lifetime counters live *in* the registry: stats() reads the same
+        # objects /metrics renders, so the two views cannot drift apart.
+        self._requests = self.metrics.counter(
+            "repro_service_requests_total",
+            "Requests admitted past the closed check, by kind.",
+            labels=("kind",),
+        )
+        self._inflight_joins = self.metrics.counter(
+            "repro_service_inflight_joins_total",
+            "Requests served by joining an identical in-flight evaluation.",
+        )
+        self._engine_batches = self.metrics.counter(
+            "repro_service_engine_batches_total",
+            "Batched-engine invocations (grid, group or solo).",
+        )
+        self._evaluated_cells = self.metrics.counter(
+            "repro_service_evaluated_cells_total",
+            "Grid cells evaluated across all engine invocations.",
+        )
+        self._solo_evaluations = self.metrics.counter(
+            "repro_service_solo_evaluations_total",
+            "Requests evaluated individually (stochastic policies, "
+            "per-request fallback after a failed group).",
+        )
+        self._timeouts = self.metrics.counter(
+            "repro_service_timeouts_total",
+            "Deadline expiries (parked past deadline, or caller wait "
+            "ran out).",
+        )
+        self._shed = self.metrics.counter(
+            "repro_service_shed_total",
+            "Requests shed at admission with ServiceOverloadedError.",
+        )
+        self._degraded = self.metrics.counter(
+            "repro_service_degraded_total",
+            "Requests answered with a degraded (bound-sandwich) payload.",
+        )
         self._batcher = MicroBatcher(
             self._execute_batch,
             flush_interval=flush_interval,
@@ -323,7 +361,73 @@ class EvaluationService:
             max_pending=max_pending,
             max_pending_cost=max_pending_cost,
             on_abandon=self._abort,
+            metrics=self.metrics,
         )
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Callback gauges over state that already lives elsewhere.
+
+        Evaluated at scrape time, so the cache / queue / in-flight numbers
+        on ``/metrics`` are live reads of the same structures ``stats()``
+        reports -- never a second copy that could go stale.
+        """
+        cache_stats = self.cache.stats
+        self.metrics.gauge(
+            "repro_service_cache_entries",
+            "Entries currently held by the result cache.",
+            callback=lambda: cache_stats()["entries"],
+        )
+        self.metrics.gauge(
+            "repro_service_cache_bytes",
+            "Bytes currently held by the result cache.",
+            callback=lambda: cache_stats()["bytes"],
+        )
+
+        def hit_ratio() -> float:
+            stats = cache_stats()
+            lookups = stats["hits"] + stats["misses"]
+            return stats["hits"] / lookups if lookups else 0.0
+
+        self.metrics.gauge(
+            "repro_service_cache_hit_ratio",
+            "Lifetime cache hits / (hits + misses).",
+            callback=hit_ratio,
+        )
+        self.metrics.gauge(
+            "repro_service_pending_requests",
+            "Requests currently parked in the micro-batch queue.",
+            callback=lambda: self._batcher.stats()["pending"],
+        )
+        self.metrics.gauge(
+            "repro_service_inflight_requests",
+            "Distinct fingerprints currently being evaluated.",
+            callback=self._inflight_size,
+        )
+
+        def ratio_of(counter) -> float:
+            total = self._requests.total()
+            return counter.total() / total if total else 0.0
+
+        self.metrics.gauge(
+            "repro_service_timeout_ratio",
+            "Lifetime timeouts / requests.",
+            callback=lambda: ratio_of(self._timeouts),
+        )
+        self.metrics.gauge(
+            "repro_service_shed_ratio",
+            "Lifetime shed / requests.",
+            callback=lambda: ratio_of(self._shed),
+        )
+        self.metrics.gauge(
+            "repro_service_degraded_ratio",
+            "Lifetime degraded answers / requests.",
+            callback=lambda: ratio_of(self._degraded),
+        )
+
+    def _inflight_size(self) -> int:
+        with self._lock:
+            return len(self._inflight)
 
     # ------------------------------------------------------------------
     # Public request API
@@ -468,6 +572,18 @@ class EvaluationService:
         with self._lock:
             return self._closed
 
+    def lifecycle(self) -> str:
+        """Lifecycle phase for ``/health``: ``ok``/``draining``/``closed``.
+
+        ``draining`` is the window between the start of :meth:`close` (new
+        submissions already refused) and the batcher worker flushing the
+        last parked request -- a load balancer must stop routing here, but
+        previously accepted requests are still being served.
+        """
+        if not self.closed:
+            return "ok"
+        return "closed" if self._batcher.drained else "draining"
+
     def __enter__(self) -> "EvaluationService":
         return self
 
@@ -482,20 +598,22 @@ class EvaluationService:
         ``cache`` carries the hit/miss/eviction counters of the result
         store.
         """
-        with self._lock:
-            requests = dict(self._requests)
-            requests["total"] = sum(self._requests.values())
-            engine = {
-                "batches": self._engine_batches,
-                "evaluated_cells": self._evaluated_cells,
-                "solo_evaluations": self._solo_evaluations,
-                "inflight_joins": self._inflight_joins,
-            }
-            resilience = {
-                "timeouts": self._timeouts,
-                "shed": self._shed,
-                "degraded": self._degraded,
-            }
+        requests = {
+            kind: self._requests.value(kind=kind)
+            for kind in ("simulate", "analyse", "makespan")
+        }
+        requests["total"] = self._requests.total()
+        engine = {
+            "batches": self._engine_batches.value(),
+            "evaluated_cells": self._evaluated_cells.value(),
+            "solo_evaluations": self._solo_evaluations.value(),
+            "inflight_joins": self._inflight_joins.value(),
+        }
+        resilience = {
+            "timeouts": self._timeouts.value(),
+            "shed": self._shed.value(),
+            "degraded": self._degraded.value(),
+        }
         resilience["breaker"] = self._oracle_breaker.stats()
         resilience["worker_respawns"] = worker_respawn_count()
         resilience["faults"] = FAULTS.stats()
@@ -507,6 +625,7 @@ class EvaluationService:
             "resilience": resilience,
             "jobs": self._jobs,
             "closed": self.closed,
+            "lifecycle": self.lifecycle(),
         }
 
     # ------------------------------------------------------------------
@@ -526,7 +645,7 @@ class EvaluationService:
                 raise ServiceClosedError(
                     "evaluation service is closed; no further requests accepted"
                 )
-            self._requests[kind] += 1
+        self._requests.inc(kind=kind)
         if timeout is None:
             timeout = self._default_timeout
         deadline = Deadline.after(timeout)
@@ -547,15 +666,14 @@ class EvaluationService:
                 )
                 self._inflight[fingerprint] = request
             else:
-                self._inflight_joins += 1
+                self._inflight_joins.inc()
         if leader is not None:
             return _copy_payload(self._wait(leader, deadline))
         try:
             self._batcher.submit(request)
         except BaseException as error:
             if isinstance(error, ServiceOverloadedError):
-                with self._lock:
-                    self._shed += 1
+                self._shed.inc()
             # Fail the request before retiring it: concurrent duplicates may
             # already be parked on its event and would otherwise wait forever.
             request.fail(error)
@@ -576,8 +694,7 @@ class EvaluationService:
             return request.wait(deadline.remaining())
         except ServiceTimeoutError as error:
             if error is not request.error:
-                with self._lock:
-                    self._timeouts += 1
+                self._timeouts.inc()
             raise
 
     def _finish(self, request: BatchRequest, payload: dict) -> None:
@@ -588,8 +705,7 @@ class EvaluationService:
         identical request must get a fresh chance at the exact answer.
         """
         if isinstance(payload, dict) and payload.get("degraded"):
-            with self._lock:
-                self._degraded += 1
+            self._degraded.inc()
         else:
             self.cache.put(request.fingerprint, payload)
         request.resolve(payload)
@@ -624,8 +740,7 @@ class EvaluationService:
                     self._finish(request, cached)
                     continue
                 if request.deadline is not None and request.deadline.expired:
-                    with self._lock:
-                        self._timeouts += 1
+                    self._timeouts.inc()
                     self._abort(
                         request,
                         ServiceTimeoutError(
@@ -706,11 +821,10 @@ class EvaluationService:
                 self._abort(request, error)
 
     def _count_engine_call(self, cells: int, solo: bool = False) -> None:
-        with self._lock:
-            self._engine_batches += 1
-            self._evaluated_cells += cells
-            if solo:
-                self._solo_evaluations += 1
+        self._engine_batches.inc()
+        self._evaluated_cells.inc(cells)
+        if solo:
+            self._solo_evaluations.inc()
 
     #: Minimum lane count (tasks x platforms) at which a simulation group
     #: runs through the vectorised lockstep kernel.  The kernel's cost is

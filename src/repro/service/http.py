@@ -9,8 +9,12 @@ file can talk to the service.
 
 Endpoints
 ---------
-``GET  /health``    liveness probe (status, version, uptime seconds)
+``GET  /health``    readiness probe: ``ok`` (200) while serving,
+                    ``draining``/``closed`` (503) once shutdown has begun
 ``GET  /stats``     the service's :meth:`~EvaluationService.stats` document
+``GET  /metrics``   the metrics registry -- Prometheus text exposition by
+                    default, the JSON document when the ``Accept`` header
+                    asks for ``application/json``
 ``POST /simulate``  ``{"task": <task>, "cores": m, "accelerators": a,
                     "policy": name, "policy_seed": s, "priorities": {...},
                     "offload_enabled": true}`` -> ``{"makespan": ...}``
@@ -56,6 +60,41 @@ from .facade import EvaluationService
 
 _LOG = logging.getLogger("repro.service.http")
 
+#: Paths instrumented under their own metric label; anything else is folded
+#: into one ``"other"`` label so unknown paths cannot blow up cardinality.
+_ENDPOINTS = frozenset(
+    {"/health", "/stats", "/metrics", "/simulate", "/analyse", "/makespan"}
+)
+
+#: Decoded chunked bodies larger than this are refused (same spirit as the
+#: admission bounds: a request must not be able to exhaust server memory).
+_MAX_CHUNKED_BODY = 64 * 1024 * 1024
+
+
+class _HTTPRequestError(Exception):
+    """Transport-level request failure with a pre-chosen status + code.
+
+    Raised by the body-reading plumbing *before* the request reaches the
+    service, so ``do_POST`` can map it straight onto the error envelope.
+    ``close`` marks requests whose body was not (fully) drained from the
+    socket -- the connection cannot be reused and must be closed.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retryable: bool = False,
+        close: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retryable = retryable
+        self.close = close
+
 __all__ = [
     "ServiceHTTPServer",
     "start_server",
@@ -77,6 +116,43 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence per-request stderr logging (the service keeps counters)."""
 
+    def _instrumented(self, handler) -> None:
+        """Run ``handler`` and record the per-endpoint HTTP metrics.
+
+        Latency covers the whole handler (body read, service wait,
+        response write) -- the figure a client actually experiences minus
+        the network.  Unknown paths share one ``"other"`` endpoint label.
+        """
+        started = time.perf_counter()
+        self._status = 0
+        self._response_bytes = 0
+        self._request_bytes = 0
+        try:
+            handler()
+        finally:
+            elapsed = time.perf_counter() - started
+            endpoint = self.path if self.path in _ENDPOINTS else "other"
+            server = self.server
+            server.metric_latency.observe(elapsed, endpoint=endpoint)
+            server.metric_responses.inc(endpoint=endpoint, status=self._status)
+            if self._request_bytes:
+                server.metric_request_bytes.inc(
+                    self._request_bytes, endpoint=endpoint
+                )
+            if self._response_bytes:
+                server.metric_response_bytes.inc(
+                    self._response_bytes, endpoint=endpoint
+                )
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._status = status
+        self._response_bytes = len(body)
+
     def _send_json(
         self, status: int, document: dict, retry_after: Optional[float] = None
     ) -> None:
@@ -88,6 +164,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
+        self._status = status
+        self._response_bytes = len(body)
 
     def _send_error(
         self,
@@ -119,11 +197,82 @@ class _RequestHandler(BaseHTTPRequestHandler):
             document.update(extra)
         self._send_json(status, document, retry_after=retry_after)
 
+    def _read_chunked_body(self) -> bytes:
+        """Decode a ``Transfer-Encoding: chunked`` request body.
+
+        Hex-sized chunks each followed by CRLF, terminated by a zero-size
+        chunk and optional trailers up to a blank line (RFC 9112 §7.1).
+        Any framing violation closes the connection -- the unread rest of
+        the body would otherwise be parsed as the next request.
+        """
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            size_line = self.rfile.readline(1026)
+            if not size_line:
+                raise _HTTPRequestError(
+                    400, "bad-request", "truncated chunked body", close=True
+                )
+            try:
+                size = int(size_line.split(b";", 1)[0].strip(), 16)
+            except ValueError:
+                raise _HTTPRequestError(
+                    400,
+                    "bad-request",
+                    f"malformed chunk size line {size_line!r}",
+                    close=True,
+                ) from None
+            if size == 0:
+                break
+            total += size
+            if total > _MAX_CHUNKED_BODY:
+                raise _HTTPRequestError(
+                    413,
+                    "payload-too-large",
+                    f"chunked body exceeds {_MAX_CHUNKED_BODY} bytes",
+                    close=True,
+                )
+            data = self.rfile.read(size)
+            if len(data) < size:
+                raise _HTTPRequestError(
+                    400, "bad-request", "truncated chunked body", close=True
+                )
+            chunks.append(data)
+            self.rfile.read(2)  # the CRLF terminating the chunk data
+        while True:  # drain optional trailers up to the blank line
+            line = self.rfile.readline(1026)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        return b"".join(chunks)
+
     def _read_document(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        body = self.rfile.read(length) if length else b""
+        encoding = self.headers.get("Transfer-Encoding", "")
+        codings = [
+            token.strip().lower()
+            for token in encoding.split(",")
+            if token.strip()
+        ]
+        if codings == ["chunked"]:
+            body = self._read_chunked_body()
+        elif codings:
+            # The body is framed in an encoding this server cannot read;
+            # nothing was drained from the socket, so it cannot be reused.
+            raise _HTTPRequestError(
+                501,
+                "unsupported-transfer-encoding",
+                f"transfer-encoding {encoding!r} is not supported; "
+                f"send the body with Content-Length or chunked",
+                close=True,
+            )
+        else:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b""
+        self._request_bytes = len(body)
         if not body:
-            raise ValueError("request body is empty; expected a JSON document")
+            raise ValueError(
+                "request body is empty; send a JSON document with a "
+                "Content-Length header or chunked transfer-encoding"
+            )
         try:
             document = json.loads(body)
         except json.JSONDecodeError as error:
@@ -141,17 +290,36 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented(self._handle_get)
+
+    def _handle_get(self) -> None:
         if self.path == "/health":
+            # A readiness probe, not a liveness one: a draining instance is
+            # alive but must stop receiving traffic, so anything other than
+            # "ok" is reported with a non-200 status a load balancer acts on.
+            phase = self.server.service.lifecycle()
             self._send_json(
-                200,
+                200 if phase == "ok" else 503,
                 {
-                    "status": "ok",
+                    "status": phase,
                     "service": "repro-evaluation-service",
                     "uptime_s": time.monotonic() - self.server.started_at,
                 },
+                retry_after=1.0 if phase == "draining" else None,
             )
         elif self.path == "/stats":
             self._send_json(200, self.server.service.stats())
+        elif self.path == "/metrics":
+            registry = self.server.service.metrics
+            accept = self.headers.get("Accept", "")
+            if "application/json" in accept:
+                self._send_json(200, registry.render_json())
+            else:
+                self._send_body(
+                    200,
+                    registry.render_prometheus().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
         else:
             self._send_error(
                 404,
@@ -162,6 +330,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "endpoints": [
                         "GET /health",
                         "GET /stats",
+                        "GET /metrics",
                         "POST /simulate",
                         "POST /analyse",
                         "POST /makespan",
@@ -170,6 +339,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._instrumented(self._handle_post)
+
+    def _handle_post(self) -> None:
         service = self.server.service
         try:
             document = self._read_document()
@@ -207,6 +379,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 self._send_error(
                     404, "not-found", f"unknown path {self.path!r}", retryable=False
                 )
+        except _HTTPRequestError as error:
+            if error.close:
+                self.close_connection = True
+            self._send_error(
+                error.status, error.code, str(error), retryable=error.retryable
+            )
         except ServiceOverloadedError as error:
             self._send_error(
                 429,
@@ -262,6 +440,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    #: Listen backlog.  socketserver's default of 5 is far too small for a
+    #: burst-shaped load: a few dozen simultaneous connects overflow the
+    #: kernel accept queue, the excess handshakes are left half-open and
+    #: eventually reset -- the client sees ECONNRESET on requests the
+    #: application never saw, *instead of* the deliberate 429 the admission
+    #: bound would have sent.  Size it above any plausible client fan-out so
+    #: overload is always handled by the service's own shedding.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -271,6 +457,27 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     ) -> None:
         self.service = service
         self.started_at = time.monotonic()
+        registry = service.metrics
+        self.metric_latency = registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock time serving one HTTP request, by endpoint.",
+            labels=("endpoint",),
+        )
+        self.metric_responses = registry.counter(
+            "repro_http_responses_total",
+            "HTTP responses by endpoint and status code.",
+            labels=("endpoint", "status"),
+        )
+        self.metric_request_bytes = registry.counter(
+            "repro_http_request_bytes_total",
+            "Request body bytes received, by endpoint.",
+            labels=("endpoint",),
+        )
+        self.metric_response_bytes = registry.counter(
+            "repro_http_response_bytes_total",
+            "Response body bytes sent, by endpoint.",
+            labels=("endpoint",),
+        )
         super().__init__((host, port), _RequestHandler)
 
     @property
@@ -422,8 +629,10 @@ def serve_from_args(args: argparse.Namespace) -> int:
     # Install explicit handlers so SIGINT/SIGTERM always trigger the
     # graceful drain below (signal.signal only works in the main thread;
     # embedded callers use start_server/shutdown instead).
+    stop = threading.Event()
+
     def _interrupt(signum: int, frame: object) -> None:
-        raise KeyboardInterrupt
+        stop.set()
 
     try:
         signal.signal(signal.SIGINT, _interrupt)
@@ -441,11 +650,26 @@ def serve_from_args(args: argparse.Namespace) -> int:
     if FAULTS.enabled:
         armed = ", ".join(sorted(FAULTS.stats()["points"]))
         print(f"fault injection ARMED via REPRO_FAULTS: {armed}", flush=True)
+    # The acceptor runs in a daemon thread so the drain below happens with
+    # the listener still up: during close() the service answers /health
+    # with 503 "draining" and new POSTs with 503 "closed" -- the drain is
+    # *observable* over HTTP instead of the socket simply going away.
+    acceptor = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    acceptor.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down (draining in-flight requests)...", flush=True)
-    finally:
+        # Poll rather than block indefinitely: the kernel may deliver the
+        # signal on *any* thread, but CPython only runs the Python-level
+        # handler when the main thread reaches a bytecode boundary -- an
+        # untimed Event.wait() parks the main thread in sem_wait forever
+        # and the handler (hence the drain) would never run.
+        while not stop.wait(0.1):
+            pass
+    except KeyboardInterrupt:  # pragma: no cover - embedded Ctrl-C race
+        pass
+    print("shutting down (draining in-flight requests)...", flush=True)
+    try:
         # Two-phase drain, in this order: close the *service* first so
         # every accepted request is resolved while the handler threads can
         # still write their responses (requests arriving during the drain
@@ -454,6 +678,9 @@ def serve_from_args(args: argparse.Namespace) -> int:
         # already-resolved responses onto the wire.
         service.close()
         time.sleep(0.2)
+    finally:
+        server.shutdown()
+        acceptor.join(timeout=5.0)
         server.server_close()
     stats = service.stats()
     print(

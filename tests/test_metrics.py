@@ -1,0 +1,402 @@
+"""Tests of the serving-layer metrics registry (:mod:`repro.service.metrics`).
+
+Covers the PR 7 observability substrate:
+
+* counter / gauge / histogram unit semantics (monotonicity, labels,
+  callback gauges, ``le`` bucket placement);
+* a hypothesis property bounding the histogram's percentile *estimate* by
+  the width of the bucket that contains the exact nearest-rank percentile;
+* registry create-or-get sharing and kind/label-mismatch rejection;
+* JSON <-> Prometheus text parity (the text exposition parsed back equals
+  the JSON rendering series for series);
+* consistency under a threaded update burst (no lost increments, bucket
+  counts that sum to the observation count).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_value_total(self):
+        counter = Counter("c_total", "help", ("kind",))
+        counter.inc(kind="simulate")
+        counter.inc(3, kind="simulate")
+        counter.inc(kind="analyse")
+        assert counter.value(kind="simulate") == 4
+        assert counter.value(kind="analyse") == 1
+        assert counter.value(kind="makespan") == 0
+        assert counter.total() == 5
+
+    def test_unlabelled(self):
+        counter = Counter("c_total", "help")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_rejects_negative(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        counter = Counter("c_total", "help", ("kind",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc(other="x")
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.inc()
+
+    def test_collect_sorted_by_key(self):
+        counter = Counter("c_total", "help", ("kind",))
+        counter.inc(kind="z")
+        counter.inc(kind="a")
+        assert counter.collect() == [(("a",), 1), (("z",), 1)]
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+class TestGauge:
+    def test_set_add(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value() == 7
+
+    def test_callback_evaluated_at_read_time(self):
+        box = {"value": 1}
+        gauge = Gauge("g", "help", callback=lambda: box["value"])
+        assert gauge.value() == 1
+        box["value"] = 42
+        assert gauge.value() == 42
+        assert gauge.collect() == [((), 42)]
+
+    def test_callback_gauge_rejects_set_and_labels(self):
+        gauge = Gauge("g", "help", callback=lambda: 0)
+        with pytest.raises(ValueError, match="callback-driven"):
+            gauge.set(1)
+        with pytest.raises(ValueError, match="callback-driven"):
+            gauge.add(1)
+        with pytest.raises(ValueError, match="unlabelled"):
+            Gauge("g", "help", ("kind",), callback=lambda: 0)
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            Histogram("h", "help", buckets=())
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", "help", buckets=(1.0, 1.0, 2.0))
+
+    def test_le_bucket_placement(self):
+        """A value equal to a bound lands in that bound's bucket."""
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 9.0):
+            histogram.observe(value)
+        [(key, series)] = histogram.collect()
+        assert key == ()
+        # counts: <=1.0 -> {0.5, 1.0}; <=2.0 -> {1.5, 2.0}; <=4.0 -> {4.0};
+        # +Inf -> {9.0}
+        assert series.counts == [2, 2, 1, 1]
+        assert series.count == 6
+        assert series.sum == pytest.approx(18.0)
+        assert series.min == 0.5
+        assert series.max == 9.0
+
+    def test_empty_series(self):
+        histogram = Histogram("h", "help")
+        assert math.isnan(histogram.percentile(0.5))
+        assert histogram.count() == 0
+        assert histogram.total_count() == 0
+
+    def test_quantile_range_checked(self):
+        histogram = Histogram("h", "help")
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.percentile(1.5)
+
+    def test_constant_series_estimates_exactly(self):
+        """min == max collapses the containing bucket: the estimate is exact."""
+        histogram = Histogram("h", "help", buckets=(1.0, 10.0, 100.0))
+        for _ in range(50):
+            histogram.observe(7.25)
+        for quantile in (0.01, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.percentile(quantile) == 7.25
+
+    def test_overflow_bucket_clamped_to_observed_max(self):
+        histogram = Histogram("h", "help", buckets=(1.0,))
+        histogram.observe(5.0)
+        histogram.observe(6.0)
+        assert histogram.percentile(0.99) <= 6.0
+
+    def test_labelled_series_are_independent(self):
+        histogram = Histogram("h", "help", buckets=(1.0, 2.0), label_names=("e",))
+        histogram.observe(0.5, e="a")
+        histogram.observe(1.5, e="b")
+        assert histogram.count(e="a") == 1
+        assert histogram.count(e="b") == 1
+        assert histogram.total_count() == 2
+
+
+def _exact_nearest_rank(sorted_values: list[float], quantile: float) -> float:
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    quantile=st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+)
+def test_percentile_estimate_bounded_by_containing_bucket(samples, quantile):
+    """The estimate lies inside the bucket holding the exact percentile.
+
+    With nearest-rank exact percentiles, the bucket whose cumulative count
+    first reaches the rank is exactly the bucket containing the exact
+    value -- so the estimation error is bounded by that bucket's width
+    (clamped to the observed min/max at the tails).
+    """
+    histogram = Histogram("h", "help", buckets=LATENCY_BUCKETS)
+    for value in samples:
+        histogram.observe(value)
+    estimate = histogram.percentile(quantile)
+    exact = _exact_nearest_rank(sorted(samples), quantile)
+    index = bisect_left(LATENCY_BUCKETS, exact)
+    lower = LATENCY_BUCKETS[index - 1] if index > 0 else 0.0
+    upper = (
+        LATENCY_BUCKETS[index]
+        if index < len(LATENCY_BUCKETS)
+        else max(samples)
+    )
+    lower = max(lower, min(samples)) if min(samples) <= upper else lower
+    upper = min(upper, max(samples)) if max(samples) >= lower else upper
+    assert lower - 1e-9 <= estimate <= upper + 1e-9
+    assert abs(estimate - exact) <= (upper - lower) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_create_or_get_shares_the_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total", "help", labels=("kind",))
+        second = registry.counter("requests_total", "other help", labels=("kind",))
+        assert first is second
+        first.inc(kind="simulate")
+        assert second.value(kind="simulate") == 1
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m", "help")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", "help", labels=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("m", "help", labels=("endpoint",))
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("m_total", "help")
+        assert registry.get("m_total") is counter
+        assert registry.get("missing") is None
+
+    def test_render_json_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counter help", labels=("kind",)).inc(
+            kind="simulate"
+        )
+        registry.gauge("g", "gauge help").set(3.5)
+        histogram = registry.histogram("h_seconds", "hist help", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        document = registry.render_json()
+        assert document["counters"]["c_total"]["series"] == [
+            {"labels": {"kind": "simulate"}, "value": 1}
+        ]
+        assert document["gauges"]["g"]["series"] == [{"labels": {}, "value": 3.5}]
+        [series] = document["histograms"]["h_seconds"]["series"]
+        assert series["counts"] == [1, 1, 0]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(2.0)
+        assert series["min"] == 0.5
+        assert series["max"] == 1.5
+        for quantile_key in ("p50", "p95", "p99"):
+            assert 0.0 <= series[quantile_key] <= 1.5
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_SAMPLE_LINE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse the text exposition back into ``{(name, labels): value}``."""
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        name, label_block, value = match.groups()
+        labels: list[tuple[str, str]] = []
+        if label_block:
+            for part in re.findall(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"', label_block):
+                unescaped = (
+                    part[1]
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels.append((part[0], unescaped))
+        key = (name, tuple(sorted(labels)))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(value)
+    return samples
+
+
+class TestPrometheusParity:
+    def _populated_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", "requests", labels=("kind",))
+        requests.inc(5, kind="simulate")
+        requests.inc(2, kind="analyse")
+        registry.gauge("pending", "queue depth").set(7)
+        latency = registry.histogram(
+            "latency_seconds", "latency", buckets=(0.1, 1.0), labels=("endpoint",)
+        )
+        for value in (0.05, 0.5, 0.5, 2.0):
+            latency.observe(value, endpoint="/simulate")
+        return registry
+
+    def test_help_and_type_lines(self):
+        text = self._populated_registry().render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE pending gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_text_matches_json(self):
+        registry = self._populated_registry()
+        samples = parse_prometheus(registry.render_prometheus())
+        document = registry.render_json()
+
+        for name, payload in document["counters"].items():
+            for series in payload["series"]:
+                key = (name, tuple(sorted(series["labels"].items())))
+                assert samples[key] == series["value"]
+        for name, payload in document["gauges"].items():
+            for series in payload["series"]:
+                key = (name, tuple(sorted(series["labels"].items())))
+                assert samples[key] == series["value"]
+        for name, payload in document["histograms"].items():
+            bounds = payload["buckets"]
+            for series in payload["series"]:
+                labels = tuple(sorted(series["labels"].items()))
+                assert samples[(f"{name}_count", labels)] == series["count"]
+                assert samples[(f"{name}_sum", labels)] == pytest.approx(
+                    series["sum"]
+                )
+                cumulative = 0
+                for bound, count in zip(bounds, series["counts"]):
+                    cumulative += count
+                    bound_text = (
+                        str(int(bound)) if float(bound).is_integer() else repr(bound)
+                    )
+                    bucket_key = (
+                        f"{name}_bucket",
+                        tuple(sorted(labels + (("le", bound_text),))),
+                    )
+                    assert samples[bucket_key] == cumulative
+                infinity_key = (
+                    f"{name}_bucket",
+                    tuple(sorted(labels + (("le", "+Inf"),))),
+                )
+                assert samples[infinity_key] == series["count"]
+
+    def test_cumulative_buckets_non_decreasing(self):
+        samples = parse_prometheus(
+            self._populated_registry().render_prometheus()
+        )
+        buckets = sorted(
+            (dict(labels)["le"], value)
+            for (name, labels), value in samples.items()
+            if name == "latency_seconds_bucket"
+        )
+        values = [value for _, value in buckets if _ != "+Inf"]
+        assert values == sorted(values)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", "odd", labels=("path",))
+        nasty = 'a"b\\c\nd'
+        counter.inc(3, path=nasty)
+        samples = parse_prometheus(registry.render_prometheus())
+        assert samples[("odd_total", (("path", nasty),))] == 3
+
+    def test_integers_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.counter("n_total", "n").inc(5)
+        text = registry.render_prometheus()
+        assert "n_total 5\n" in text
+        assert "n_total 5.0" not in text
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+def test_no_lost_updates_under_threaded_burst():
+    registry = MetricsRegistry()
+    counter = registry.counter("burst_total", "burst", labels=("worker",))
+    shared = registry.counter("shared_total", "shared")
+    histogram = registry.histogram("burst_seconds", "burst", buckets=(0.5, 1.0))
+    threads, per_thread = 8, 500
+
+    def work(worker: int) -> None:
+        for step in range(per_thread):
+            counter.inc(worker=worker % 2)
+            shared.inc()
+            histogram.observe((step % 3) * 0.4)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        for future in [pool.submit(work, index) for index in range(threads)]:
+            future.result()
+
+    assert shared.value() == threads * per_thread
+    assert counter.total() == threads * per_thread
+    assert histogram.total_count() == threads * per_thread
+    [(_, series)] = histogram.collect()
+    assert sum(series.counts) == series.count == threads * per_thread
+    # 0.0 -> first bucket, 0.4 -> first bucket, 0.8 -> second bucket
+    expected_second = threads * sum(1 for s in range(per_thread) if s % 3 == 2)
+    assert series.counts[1] == expected_second

@@ -760,6 +760,79 @@ class TestHTTPTransport:
 
 
 # ----------------------------------------------------------------------
+# PR 7 regression: fixed-priority tables must bind identically on the wire
+# ----------------------------------------------------------------------
+class TestPriorityTableWireBinding:
+    """JSON stringifies node ids; the client must preserve *binding*.
+
+    ``FixedPriorityPolicy`` looks nodes up with plain ``==``/``hash``, so
+    which table entries bind depends on key identity, not on how keys
+    print.  A naive ``{str(k): v}`` serialisation changed the policy:
+    int-keyed tables on int-noded tasks stopped binding server-side
+    (the round-tripped task carries *string* nodes), and an int key that
+    merely printed like some node name started binding where it never did
+    in process.  The client now resolves binding against the actual task
+    nodes and ships only bound entries under the node's wire name.
+    """
+
+    # Fork of three parallel nodes (wcets 4, 3, 3) on m=2: which pair
+    # starts first changes the makespan, so bound and unbound tables give
+    # provably different answers.
+    _WCETS = {1: 1.0, 2: 4.0, 3: 3.0, 4: 3.0, 5: 1.0}
+    _EDGES = [(1, 2), (1, 3), (1, 4), (2, 5), (3, 5), (4, 5)]
+
+    def _simulate_local(self, task, table):
+        from repro.simulation.schedulers import FixedPriorityPolicy
+
+        return simulate_makespan(task, Platform(2), FixedPriorityPolicy(table))
+
+    def test_int_keyed_table_bit_identical_via_client(self, http_service):
+        service, _, client = http_service
+        task = DagTask.from_wcets(self._WCETS, self._EDGES)
+        table = {3: 0.0, 4: 1.0}
+        expected = self._simulate_local(task, table)
+        fallback = self._simulate_local(task, {})
+        assert expected != fallback  # the table genuinely changes the run
+        assert service.submit_simulation(
+            task, 2, policy="fixed-priority", priorities=table, timeout=120
+        ) == expected
+        assert client.simulate(
+            task, cores=2, policy="fixed-priority", priorities=table
+        ) == expected
+
+    def test_float_keys_bind_by_equality_not_representation(self, http_service):
+        # 3.0 == 3 and hash(3.0) == hash(3): the float-keyed table binds
+        # the int nodes in process, so it must bind over the wire too --
+        # even though str(3.0) == "3.0" names no node.
+        _, _, client = http_service
+        task = DagTask.from_wcets(self._WCETS, self._EDGES)
+        table = {3.0: 0.0, 4.0: 1.0}
+        expected = self._simulate_local(task, table)
+        assert expected != self._simulate_local(task, {})
+        assert client.simulate(
+            task, cores=2, policy="fixed-priority", priorities=table
+        ) == expected
+
+    def test_decoy_int_key_stays_inert_on_string_noded_task(self, http_service):
+        # The same fork, but with nodes *named* "1".."5": an int key 3
+        # prints like node "3" yet binds nothing in process (3 != "3"),
+        # so it must bind nothing through the transport either.
+        _, _, client = http_service
+        task = DagTask.from_wcets(
+            {str(node): wcet for node, wcet in self._WCETS.items()},
+            [(str(src), str(dst)) for src, dst in self._EDGES],
+        )
+        decoy = {3: 0.0, 4: 1.0}
+        inert = self._simulate_local(task, decoy)
+        assert inert == self._simulate_local(task, {})  # inert in process
+        bound = self._simulate_local(task, {"3": 0.0, "4": 1.0})
+        assert bound != inert  # a naive str(k) wiring would return this
+        assert client.simulate(
+            task, cores=2, policy="fixed-priority", priorities=decoy
+        ) == inert
+
+
+# ----------------------------------------------------------------------
 # PR 6 resilience: failure counters and lifecycle races
 # ----------------------------------------------------------------------
 PARKED_BATCHING = dict(flush_interval=30.0, quiet_interval=10.0)
