@@ -29,7 +29,18 @@ Results go to ``BENCH_PR4.json``; with ``--smoke`` the run enforces the
 ``VECTORIZED_SPEEDUP_TARGET`` acceptance (>= 2x over the dense batched
 path, makespans bit-identical) for CI.
 
-Run with:  python benchmarks/bench_simulation.py  [--vectorized] [--smoke]
+``--compiled`` benchmarks the PR-8 compiled C step-loop backend against the
+numpy lockstep kernel on the same ensemble, measures the engine crossover
+versus the dense path at small lane counts, and enforces the
+``COMPILED_SPEEDUP_TARGET`` (>= 2x over the numpy kernel, bit-identical,
+crossover <= ``CROSSOVER_MAX_LANES``).  Results go to ``BENCH_PR8.json``.
+
+``--calibrate`` sweeps lane counts for both lockstep backends against the
+dense engine and rewrites the committed calibration table
+(``src/repro/simulation/calibration.json``) that ``engine="auto"`` and the
+service's ``vector_threshold`` consult.
+
+Run with:  python benchmarks/bench_simulation.py  [--vectorized | --compiled | --calibrate] [--smoke]
 """
 
 from __future__ import annotations
@@ -59,6 +70,10 @@ from repro.simulation.schedulers import BreadthFirstPolicy  # noqa: E402
 
 OUTPUT = _REPO_ROOT / "BENCH_PR3.json"
 OUTPUT_VECTORIZED = _REPO_ROOT / "BENCH_PR4.json"
+OUTPUT_COMPILED = _REPO_ROOT / "BENCH_PR8.json"
+CALIBRATION_OUTPUT = (
+    _REPO_ROOT / "src" / "repro" / "simulation" / "calibration.json"
+)
 
 #: Acceptance threshold: the batched dense path must be at least this many
 #: times faster than the reference trace engine on the Figure 6 workload.
@@ -67,6 +82,13 @@ SPEEDUP_TARGET = 3.0
 #: Acceptance threshold of ``--vectorized``: the lockstep kernel must be at
 #: least this many times faster than the batched dense path.
 VECTORIZED_SPEEDUP_TARGET = 2.0
+
+#: Acceptance thresholds of ``--compiled``: the C backend must be at least
+#: this many times faster than the numpy lockstep kernel on the same
+#: ensemble, and its measured crossover against the dense engine must sit
+#: at or below this many lanes (target ~1).
+COMPILED_SPEEDUP_TARGET = 2.0
+CROSSOVER_MAX_LANES = 16
 
 
 #: Timed repetitions per path; the best (minimum) time is reported, which
@@ -168,8 +190,12 @@ def main_vectorized(smoke: bool) -> dict:
         ),
         repeats=5,
     )
+    # Pin the numpy kernel: engine="auto" would resolve to the compiled
+    # backend (PR 8) where available, and this gate measures the PR-4 path.
     vectorized_s, vectorized_grid = _best_of(
-        lambda: simulate_many(tasks, platforms, BreadthFirstPolicy()),
+        lambda: simulate_many(
+            tasks, platforms, BreadthFirstPolicy(), engine="lockstep"
+        ),
         repeats=5,
     )
     identical = np.array_equal(dense_grid, vectorized_grid)
@@ -224,6 +250,219 @@ def main_vectorized(smoke: bool) -> dict:
         f"makespans identical -> "
         f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
     )
+    return document
+
+
+def _crossover_scan(
+    tasks: list, lane_counts: list[int], engine: str, repeats: int = 3
+) -> list[dict]:
+    """Time ``engine`` vs dense at each lane count (one task per lane)."""
+    platform = [Platform(4, 1)]
+    policy = BreadthFirstPolicy()
+    rows = []
+    for lanes in lane_counts:
+        subset = [tasks[i % len(tasks)] for i in range(lanes)]
+        simulate_many(subset, platform, policy, engine=engine)  # warm
+        dense_s, _ = _best_of(
+            lambda: simulate_many(subset, platform, policy, engine="dense"),
+            repeats=repeats,
+        )
+        engine_s, _ = _best_of(
+            lambda: simulate_many(subset, platform, policy, engine=engine),
+            repeats=repeats,
+        )
+        rows.append(
+            {
+                "lanes": lanes,
+                "dense_s": dense_s,
+                f"{engine}_s": engine_s,
+                "speedup_vs_dense": dense_s / max(engine_s, 1e-9),
+            }
+        )
+    return rows
+
+
+def _crossover_lanes(rows: list[dict]) -> int | None:
+    """Smallest lane count from which the engine wins at every tested size."""
+    crossover = None
+    for row in rows:
+        if row["speedup_vs_dense"] >= 1.0:
+            if crossover is None:
+                crossover = row["lanes"]
+        else:
+            crossover = None
+    return crossover
+
+
+def main_compiled(smoke: bool) -> dict:
+    from repro.simulation import _kernels
+
+    if not _kernels.compiled_available():
+        print(
+            "compiled backend unavailable: "
+            f"{_kernels.compiled_unavailable_reason()}"
+        )
+        sys.exit(1)
+
+    tasks, platforms = vectorized_workload()
+    simulations = len(tasks) * len(platforms)
+    node_counts = [task.node_count for task in tasks]
+    policy = BreadthFirstPolicy()
+
+    # Warm every path once (compiled-view caches, the .so build) first.
+    simulate_many(tasks[:4], platforms, policy, engine="compiled")
+    simulate_many(tasks[:4], platforms, policy, engine="lockstep")
+    repeats = 3 if smoke else 5
+    lockstep_s, lockstep_grid = _best_of(
+        lambda: simulate_many(tasks, platforms, policy, engine="lockstep"),
+        repeats=repeats,
+    )
+    compiled_s, compiled_grid = _best_of(
+        lambda: simulate_many(tasks, platforms, policy, engine="compiled"),
+        repeats=repeats,
+    )
+    dense_s, dense_grid = _best_of(
+        lambda: simulate_many(tasks, platforms, policy, engine="dense"),
+        repeats=1 if smoke else 3,
+    )
+    identical = np.array_equal(compiled_grid, lockstep_grid) and np.array_equal(
+        compiled_grid, dense_grid
+    )
+    speedup = lockstep_s / max(compiled_s, 1e-9)
+
+    lane_counts = [1, 2, 4, 8, 16] if smoke else [1, 2, 4, 8, 16, 32, 64]
+    crossover_rows = _crossover_scan(tasks, lane_counts, "compiled")
+    crossover = _crossover_lanes(crossover_rows)
+    crossover_met = crossover is not None and crossover <= CROSSOVER_MAX_LANES
+
+    document = {
+        "benchmark": "compiled_simulation",
+        "pr": 8,
+        "description": (
+            "Compiled C step-loop backend (simulation/_kernels.py via "
+            "ctypes) vs the numpy lockstep kernel and the dense batched "
+            "path on the quick-scale figure 6 ensemble over the figure's "
+            "four host sizes (see docs/performance.md section 10)."
+        ),
+        "smoke": smoke,
+        "simulations": simulations,
+        "tasks": len(tasks),
+        "platforms": [platform.host_cores for platform in platforms],
+        "mean_nodes": float(np.mean(node_counts)),
+        "dense_batched_s": dense_s,
+        "lockstep_numpy_s": lockstep_s,
+        "compiled_s": compiled_s,
+        "compiled_speedup_vs_lockstep": speedup,
+        "compiled_speedup_vs_dense": dense_s / max(compiled_s, 1e-9),
+        "crossover_scan": crossover_rows,
+        "crossover_lanes": crossover,
+        "makespans_identical": bool(identical),
+        "acceptance": {
+            "speedup": speedup,
+            "speedup_target": COMPILED_SPEEDUP_TARGET,
+            "speedup_met": speedup >= COMPILED_SPEEDUP_TARGET,
+            "crossover_lanes": crossover,
+            "crossover_max_lanes": CROSSOVER_MAX_LANES,
+            "crossover_met": bool(crossover_met),
+            "makespans_identical": bool(identical),
+        },
+    }
+
+    print(
+        f"figure 6 workload: {simulations} simulations "
+        f"({len(tasks)} task variants x m in "
+        f"{[p.host_cores for p in platforms]}, "
+        f"mean n = {document['mean_nodes']:.0f})"
+    )
+    print(
+        f"dense batched: {dense_s * 1000:.1f} ms | numpy lockstep: "
+        f"{lockstep_s * 1000:.1f} ms | compiled: {compiled_s * 1000:.1f} ms "
+        f"(x{speedup:.2f} vs numpy)"
+    )
+    print(
+        "crossover vs dense: "
+        + ", ".join(
+            f"{row['lanes']}l x{row['speedup_vs_dense']:.2f}"
+            for row in crossover_rows
+        )
+        + f" -> crossover at {crossover} lane(s)"
+    )
+    if not smoke:
+        OUTPUT_COMPILED.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"results written to {OUTPUT_COMPILED}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: compiled x{accepted['speedup']:.2f} vs numpy lockstep "
+        f"(target x{accepted['speedup_target']:.1f}) -> "
+        f"{'PASS' if accepted['speedup_met'] else 'FAIL'}; "
+        f"crossover {accepted['crossover_lanes']} lanes "
+        f"(max {accepted['crossover_max_lanes']}) -> "
+        f"{'PASS' if accepted['crossover_met'] else 'FAIL'}; "
+        f"makespans identical -> "
+        f"{'PASS' if accepted['makespans_identical'] else 'FAIL'}"
+    )
+    return document
+
+
+def main_calibrate() -> dict:
+    """Re-measure both engine crossovers and rewrite the shipped table."""
+    from repro.simulation import _kernels
+
+    tasks, _ = vectorized_workload()
+    lane_counts = [1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256, 384]
+    thresholds: dict[str, int] = {}
+    scans: dict[str, list] = {}
+
+    scans["lockstep"] = _crossover_scan(tasks, lane_counts, "lockstep")
+    lockstep_cross = _crossover_lanes(scans["lockstep"])
+    # When the numpy kernel never sustains a win inside the sweep, keep the
+    # dense path preferred by pushing the threshold past the sweep.
+    thresholds["lockstep"] = (
+        lockstep_cross if lockstep_cross is not None else lane_counts[-1] * 2
+    )
+    if _kernels.compiled_available():
+        scans["compiled"] = _crossover_scan(tasks, lane_counts, "compiled")
+        compiled_cross = _crossover_lanes(scans["compiled"])
+        thresholds["compiled"] = (
+            compiled_cross
+            if compiled_cross is not None
+            else lane_counts[-1] * 2
+        )
+    else:
+        print(
+            "compiled backend unavailable "
+            f"({_kernels.compiled_unavailable_reason()}); "
+            "keeping the shipped compiled threshold"
+        )
+
+    document = {
+        "generated_by": "benchmarks/bench_simulation.py --calibrate",
+        "workload": (
+            "quick-scale figure 6 ensemble tasks, one task per lane on "
+            "Platform(4, 1), best-of-3 vs the dense batched path"
+        ),
+        "vector_threshold": thresholds,
+        "crossover_scans": scans,
+    }
+    existing = {}
+    try:
+        existing = json.loads(CALIBRATION_OUTPUT.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        pass
+    if "compiled" not in thresholds and isinstance(
+        existing.get("vector_threshold"), dict
+    ):
+        kept = existing["vector_threshold"].get("compiled")
+        if kept is not None:
+            thresholds["compiled"] = kept
+    CALIBRATION_OUTPUT.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    for engine, threshold in sorted(thresholds.items()):
+        print(f"{engine}: vector threshold {threshold} lanes")
+    print(f"calibration written to {CALIBRATION_OUTPUT}")
     return document
 
 
@@ -295,6 +534,19 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
+    if "--calibrate" in sys.argv:
+        main_calibrate()
+        sys.exit(0)
+    if "--compiled" in sys.argv:
+        result = main_compiled("--smoke" in sys.argv)
+        accepted = result["acceptance"]
+        if not (
+            accepted["speedup_met"]
+            and accepted["makespans_identical"]
+            and accepted["crossover_met"]
+        ):
+            sys.exit(1)
+        sys.exit(0)
     if "--vectorized" in sys.argv:
         result = main_vectorized("--smoke" in sys.argv)
     else:

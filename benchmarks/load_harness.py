@@ -409,6 +409,12 @@ def check_consistency(client: ServiceClient, summary: dict) -> dict:
             "series"
         ]
     }
+    sim_engines = {
+        series["labels"]["engine"]: series["value"]
+        for series in metrics["counters"]
+        .get("repro_service_sim_engine_total", {})
+        .get("series", [])
+    }
     checks = {}
     for kind in ("simulate", "analyse", "makespan"):
         checks[f"requests_{kind}"] = (
@@ -422,10 +428,24 @@ def check_consistency(client: ServiceClient, summary: dict) -> dict:
         checks[f"http_latency_count_{endpoint}"] = (
             latency_counts.get(endpoint, 0) == expected
         )
+    # Engine attribution: every simulation batch/solo evaluation carries a
+    # concrete engine label, /stats reads the same counter /metrics renders,
+    # and the per-engine sum never exceeds the overall batch count (which
+    # also covers analyse/makespan groups).
+    engine_stats = stats["engine"]["by_engine"]
+    for name in ("dense", "lockstep", "compiled"):
+        checks[f"sim_engine_{name}"] = (
+            engine_stats.get(name, 0) == sim_engines.get(name, 0)
+        )
+    checks["sim_engine_bounded"] = (
+        sum(sim_engines.values()) <= stats["engine"]["batches"]
+    )
     return {
         "stats_requests": stats["requests"],
         "metrics_requests": service_requests,
         "metrics_http_responses": http_responses,
+        "metrics_sim_engines": sim_engines,
+        "vector_threshold": stats["engine"].get("vector_threshold"),
         "checks": checks,
         "consistent": all(checks.values()),
     }

@@ -22,7 +22,21 @@ references of the slow regression tests
 (``tests/test_paper_scale_goldens.py`` compares a fresh run against
 ``tests/data/figure6_paper_golden.json`` / ``figure7_paper_golden.json``).
 
-Run with:  python benchmarks/run_paper_scale.py [--figure 6|7|all] [--jobs N]
+Two further paper-scale workloads ride on the compiled lockstep backend
+(PR 8) and are recorded the same way:
+
+* **Figure 6 upper range** (``--figure 6-upper``) -- the same sweep over
+  the paper's *upper* task-size band (``n in [250, 400]``,
+  :data:`repro.generator.presets.LARGE_TASKS_UPPER_RANGE`), frozen as
+  ``tests/data/figure6_upper_range_golden.json``.
+* **Seven-policy scheduler ablation** (``--figure ablation``) -- every
+  registered policy family over the Figure 6 sweep at paper scale,
+  submitted request-by-request through the evaluation service's
+  micro-batch queue (the grid executor coalesces the bursts into task x
+  platform x policy grids); frozen as
+  ``tests/data/scheduler_ablation_paper_golden.json``.
+
+Run with:  python benchmarks/run_paper_scale.py [--figure 6|7|6-upper|ablation|all] [--jobs N]
 """
 
 from __future__ import annotations
@@ -74,15 +88,54 @@ def run_figure7(jobs) -> None:
     _publish(result)
 
 
+def run_figure6_upper(jobs) -> None:
+    from repro.experiments.config import paper_scale
+    from repro.experiments.figure6 import run_figure6
+    from repro.generator.presets import LARGE_TASKS_UPPER_RANGE
+
+    t0 = time.perf_counter()
+    result = run_figure6(
+        scale=paper_scale(),
+        generator_config=LARGE_TASKS_UPPER_RANGE,
+        jobs=jobs,
+    )
+    result.name = "figure6_upper_range"
+    result.title += " (upper task-size range)"
+    print(f"figure 6 upper range at paper scale: {time.perf_counter() - t0:.1f}s")
+    _publish(result)
+
+
+def run_ablation(jobs) -> None:
+    from repro.experiments.ablations import run_scheduler_ablation_service
+    from repro.experiments.config import paper_scale
+
+    t0 = time.perf_counter()
+    result = run_scheduler_ablation_service(scale=paper_scale(), jobs=jobs)
+    result.name = "scheduler_ablation_paper"
+    print(
+        f"seven-policy ablation at paper scale (via the service queue): "
+        f"{time.perf_counter() - t0:.1f}s"
+    )
+    _publish(result)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--figure", choices=["6", "7", "all"], default="all")
+    parser.add_argument(
+        "--figure",
+        choices=["6", "7", "6-upper", "ablation", "all"],
+        default="all",
+    )
     parser.add_argument("--jobs", type=int, default=None)
     args = parser.parse_args()
     if args.figure in ("6", "all"):
         run_figure6(args.jobs)
     if args.figure in ("7", "all"):
         run_figure7(args.jobs)
+    if args.figure in ("6-upper", "all"):
+        run_figure6_upper(args.jobs)
+    if args.figure in ("ablation", "all"):
+        run_ablation(args.jobs)
 
 
 if __name__ == "__main__":

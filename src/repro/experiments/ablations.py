@@ -18,19 +18,22 @@ Two design choices of the reproduction deserve dedicated evidence:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Optional, Sequence
 
 import numpy as np
 
+from ..analysis.comparison import percentage_change
 from ..core.transformation import transform
 from ..generator.config import OffloadConfig
-from ..generator.presets import SMALL_TASKS
+from ..generator.presets import LARGE_TASKS_FIG6, SMALL_TASKS
 from ..generator.sweep import chunked_offload_fraction_sweep
 from ..ilp.batch import minimum_makespans_many
 from ..ilp.branch_and_bound import BranchAndBoundResult, branch_and_bound_makespan
 from ..ilp.makespan import MakespanMethod
-from ..parallel import parallel_map
+from ..parallel import parallel_map, spawn_seeds
+from ..simulation.platform import Platform
 from ..simulation.schedulers import (
     BreadthFirstPolicy,
     CriticalPathFirstPolicy,
@@ -41,7 +44,24 @@ from .base import ExperimentResult, ExperimentSeries
 from .config import ExperimentScale, quick_scale
 from .figure6 import run_figure6
 
-__all__ = ["run_scheduler_ablation", "run_ilp_ablation"]
+__all__ = [
+    "run_scheduler_ablation",
+    "run_scheduler_ablation_service",
+    "run_ilp_ablation",
+    "ABLATION_POLICY_NAMES",
+]
+
+#: Every registered policy family, in registry order: the seven-policy
+#: ablation of the paper-scale run.
+ABLATION_POLICY_NAMES = (
+    "breadth-first",
+    "depth-first",
+    "critical-path-first",
+    "shortest-first",
+    "longest-first",
+    "random",
+    "fixed-priority",
+)
 
 
 def run_scheduler_ablation(
@@ -85,6 +105,125 @@ def run_scheduler_ablation(
         series = figure.series_by_label(f"m={cores}")
         series.label = policy.name
         result.add_series(series)
+    return result
+
+
+def run_scheduler_ablation_service(
+    scale: Optional[ExperimentScale] = None,
+    cores: int = 4,
+    policy_names: Sequence[str] = ABLATION_POLICY_NAMES,
+    jobs: Optional[int] = None,
+    threads: int = 32,
+) -> ExperimentResult:
+    """The seven-policy Figure 6 ablation served through the batch queue.
+
+    Unlike :func:`run_scheduler_ablation` (which calls the batched engines
+    directly), this driver submits every ``(task, variant, policy)`` cell as
+    an individual request to a live :class:`~repro.service.facade.
+    EvaluationService` from a thread pool -- the shape of a sweep client
+    hitting the HTTP facade.  The micro-batcher coalesces the bursts into
+    task x platform x policy grids for the lockstep kernel (the grid
+    executor's policy axis), while the stochastic policy takes the solo
+    path with an explicit per-request seed, so the resulting figures are
+    deterministic and independent of batch composition -- the documents
+    can be frozen as goldens.
+
+    Returns
+    -------
+    ExperimentResult
+        One series per policy (all at host size ``cores``), same metric as
+        Figure 6; the metadata records the deterministic request count and
+        sampling parameters (never runtime counters, which depend on flush
+        timing).
+    """
+    from ..service.facade import EvaluationService
+
+    scale = scale or quick_scale()
+    policy_names = list(policy_names)
+    points = chunked_offload_fraction_sweep(
+        fractions=scale.fractions,
+        dags_per_point=scale.dags_per_point,
+        generator_config=LARGE_TASKS_FIG6,
+        offload_config=OffloadConfig(),
+        root_seed=scale.seed,
+        jobs=jobs,
+    )
+    point_seeds = spawn_seeds(scale.seed, len(points))
+    platform = Platform(host_cores=cores, accelerators=1)
+
+    # One request per (point, variant, task, policy), task-major so a flush
+    # window holds every policy of the tasks it covers (dense 3-axis grids
+    # for the coalescer).  The stochastic policy gets an explicit seed per
+    # cell -- derived only from the sampling parameters, never from batch
+    # composition -- which the solo path replays exactly.
+    requests = []
+    for point_index, point in enumerate(points):
+        variants = [point.tasks, [transform(task).task for task in point.tasks]]
+        for variant, tasks in enumerate(variants):
+            for task_index, task in enumerate(tasks):
+                for policy in policy_names:
+                    seed = None
+                    if policy == "random":
+                        seed = int(
+                            point_seeds[point_index]
+                            + 2 * task_index
+                            + variant
+                        )
+                    requests.append((point_index, variant, policy, task, seed))
+
+    with EvaluationService(jobs=jobs) as service:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            values = list(
+                pool.map(
+                    lambda spec: service.submit_simulation(
+                        spec[3],
+                        platform,
+                        policy=spec[2],
+                        policy_seed=spec[4],
+                    ),
+                    requests,
+                )
+            )
+
+    sums: dict[tuple[int, int, str], list] = {}
+    for (point_index, variant, policy, _, _), value in zip(requests, values):
+        sums.setdefault((point_index, variant, policy), []).append(value)
+
+    result = ExperimentResult(
+        name="ablation-scheduler-paper",
+        title=f"Figure 6 metric under all registered schedulers (m={cores})",
+        x_label="C_off / vol(G)",
+        y_label="percentage change of average makespan [%]",
+        metadata={
+            "cores": cores,
+            "policies": policy_names,
+            "dags_per_point": scale.dags_per_point,
+            "seed": scale.seed,
+            "generator": "large tasks, n in "
+            f"[{LARGE_TASKS_FIG6.n_min}, {LARGE_TASKS_FIG6.n_max}]",
+            "requests": len(requests),
+            "served_by": "EvaluationService micro-batch queue",
+        },
+    )
+    for policy in policy_names:
+        series = ExperimentSeries(label=policy)
+        for point_index, point in enumerate(points):
+            average_original = float(
+                np.mean(sums[(point_index, 0, policy)])
+            )
+            average_transformed = float(
+                np.mean(sums[(point_index, 1, policy)])
+            )
+            series.append(
+                point.fraction,
+                percentage_change(average_original, average_transformed),
+            )
+        series.metadata["crossover_fraction"] = series.crossover()
+        result.add_series(series)
+    # The queue's serving statistics (service.stats()) are observability,
+    # not golden material: engine/batch counts depend on flush timing and
+    # on which kernel backend the host has, so they never enter the
+    # document.
     return result
 
 

@@ -62,7 +62,8 @@ from ..ilp.batch import minimum_makespans_many
 from ..ilp.makespan import MakespanMethod, MakespanResult
 from ..parallel import worker_respawn_count
 from ..resilience import FAULTS, CircuitBreaker, Deadline, fault_point
-from ..simulation.batch import simulate_many
+from ..simulation.batch import resolve_engine, simulate_many
+from ..simulation.calibration import vector_threshold as _calibrated_threshold
 from ..simulation.engine import simulate_makespan
 from ..simulation.platform import Platform
 from ..simulation.schedulers import (
@@ -302,9 +303,18 @@ class EvaluationService:
         breaker_threshold: int = 5,
         breaker_reset: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
+        vector_threshold: Optional[int] = None,
     ) -> None:
         self.cache = ResultCache(max_bytes=cache_bytes)
         self._jobs = jobs
+        # Lane count from which simulation grids run on the batched
+        # lockstep kernel instead of the per-cell dense engine.  ``None``
+        # consults the measured calibration table
+        # (src/repro/simulation/calibration.json; env
+        # ``REPRO_VECTOR_THRESHOLD`` overrides) for the backend available
+        # on this host -- ~1 with the compiled kernel, a couple of hundred
+        # lanes on the numpy fallback.
+        self.vector_threshold = _calibrated_threshold(vector_threshold)
         self._default_timeout = default_timeout
         self._oracle_budget = oracle_budget
         self._oracle_breaker = CircuitBreaker(
@@ -330,6 +340,12 @@ class EvaluationService:
         self._engine_batches = self.metrics.counter(
             "repro_service_engine_batches_total",
             "Batched-engine invocations (grid, group or solo).",
+        )
+        self._sim_engines = self.metrics.counter(
+            "repro_service_sim_engine_total",
+            "Simulation grid/solo evaluations by the concrete engine that "
+            "served them (dense, lockstep or compiled).",
+            labels=("engine",),
         )
         self._evaluated_cells = self.metrics.counter(
             "repro_service_evaluated_cells_total",
@@ -475,19 +491,21 @@ class EvaluationService:
         )
         # The stochastic family consumes an RNG stream across the cells of a
         # batch, so only a solo evaluation matches the one-shot semantics.
-        # Deterministic policies group across *platforms* too: a flush
-        # covering a sweep-shaped burst (every task at every host size)
-        # becomes one task x platform grid for the lockstep kernel.
+        # Deterministic policies group across *platforms and policies* too:
+        # a flush covering an ablation-shaped burst (every task at every
+        # host size under every policy) becomes one task x platform x
+        # policy grid for the lockstep kernel.
         solo = policy == RandomPolicy.name
         payload = self._submit(
             kind="simulate",
             fingerprint=fingerprint,
-            group_key=(policy_fp, bool(offload_enabled), solo),
+            group_key=(bool(offload_enabled), solo),
             task=task,
             params={
                 "platform": platform,
                 "task_fp": task_fp,
                 "policy": policy,
+                "policy_fp": policy_fp,
                 "policy_seed": policy_seed,
                 "priorities": priorities,
                 "offload_enabled": bool(offload_enabled),
@@ -608,6 +626,11 @@ class EvaluationService:
             "evaluated_cells": self._evaluated_cells.value(),
             "solo_evaluations": self._solo_evaluations.value(),
             "inflight_joins": self._inflight_joins.value(),
+            "vector_threshold": self.vector_threshold,
+            "by_engine": {
+                name: self._sim_engines.value(engine=name)
+                for name in ("dense", "lockstep", "compiled")
+            },
         }
         resilience = {
             "timeouts": self._timeouts.value(),
@@ -826,17 +849,9 @@ class EvaluationService:
         if solo:
             self._solo_evaluations.inc()
 
-    #: Minimum lane count (tasks x platforms) at which a simulation group
-    #: runs through the vectorised lockstep kernel.  The kernel's cost is
-    #: per *step* and amortises over lanes: below a few hundred lanes the
-    #: per-cell dense engine is faster (see ``BENCH_PR5.json``); both
-    #: engines are bit-identical by contract, so the switch is purely a
-    #: performance decision.
-    VECTOR_MIN_LANES = 192
-
     #: A grid call may evaluate at most this factor more cells than were
-    #: actually requested before the group falls back to per-platform
-    #: sub-grids (which are dense by construction).
+    #: actually requested before the group falls back to per-policy /
+    #: per-platform sub-grids (which are dense by construction).
     _GRID_WASTE_LIMIT = 2.0
 
     def _run_simulation_group(self, requests: list[BatchRequest]) -> None:
@@ -854,34 +869,76 @@ class EvaluationService:
                     request.task, spec["platform"], policy, offload_enabled
                 )
                 self._count_engine_call(1, solo=True)
+                self._sim_engines.inc(engine="dense")
                 self._finish(request, simulation_payload(value))
             return
-        # Assemble the task x platform grid of the flush.  Requests are
-        # unique by fingerprint (in-flight dedupe), so within one platform
-        # every task appears at most once; a sweep-shaped burst (each task
-        # requested at every host size) forms an exactly dense grid.
+        # Try the full task x platform x policy grid of the flush first:
+        # an ablation-shaped burst (every task at every host size under
+        # every policy) forms an exactly dense 3-axis grid and becomes one
+        # ``simulate_many`` call.  When the combined grid would waste more
+        # cells than it coalesces, fall back to per-policy sub-groups
+        # (each re-checked against the per-platform waste limit).
+        by_policy: dict[str, list[BatchRequest]] = {}
+        for request in requests:
+            by_policy.setdefault(request.params["policy_fp"], []).append(
+                request
+            )
+        if len(by_policy) > 1:
+            tasks, platforms, policies, cells = self._assemble_grid(requests)
+            total = len(tasks) * len(platforms) * len(policies)
+            if total <= self._GRID_WASTE_LIMIT * len(requests):
+                self._run_simulation_grid(
+                    tasks, platforms, policies, requests, cells
+                )
+                return
+        for subset in by_policy.values():
+            self._run_policy_group(subset)
+
+    @staticmethod
+    def _assemble_grid(
+        requests: list[BatchRequest],
+    ) -> tuple[list, list, list, list]:
+        """Dedupe the flush into task rows x platform cols x policy slabs.
+
+        Requests are unique by fingerprint (in-flight dedupe), so every
+        ``(task, platform, policy)`` cell appears at most once.
+        """
         tasks: list[DagTask] = []
         task_rows: dict[str, int] = {}
         platforms: list[Platform] = []
         platform_cols: dict[Platform, int] = {}
-        cells: list[tuple[BatchRequest, int, int]] = []
+        policies: list[SchedulingPolicy] = []
+        policy_slabs: dict[str, int] = {}
+        cells: list[tuple[BatchRequest, int, int, int]] = []
         for request in requests:
-            task_key = request.params["task_fp"]
-            row = task_rows.get(task_key)
+            spec = request.params
+            row = task_rows.get(spec["task_fp"])
             if row is None:
-                row = task_rows[task_key] = len(tasks)
+                row = task_rows[spec["task_fp"]] = len(tasks)
                 tasks.append(request.task)
-            platform = request.params["platform"]
-            col = platform_cols.get(platform)
+            col = platform_cols.get(spec["platform"])
             if col is None:
-                col = platform_cols[platform] = len(platforms)
-                platforms.append(platform)
-            cells.append((request, row, col))
+                col = platform_cols[spec["platform"]] = len(platforms)
+                platforms.append(spec["platform"])
+            slab = policy_slabs.get(spec["policy_fp"])
+            if slab is None:
+                slab = policy_slabs[spec["policy_fp"]] = len(policies)
+                policies.append(
+                    build_policy(
+                        spec["policy"], spec["policy_seed"], spec["priorities"]
+                    )
+                )
+            cells.append((request, row, col, slab))
+        return tasks, platforms, policies, cells
+
+    def _run_policy_group(self, requests: list[BatchRequest]) -> None:
+        """One policy's requests: task x platform grid, waste-checked."""
+        tasks, platforms, policies, cells = self._assemble_grid(requests)
         if len(tasks) * len(platforms) > self._GRID_WASTE_LIMIT * len(requests):
             # Sparse grid: evaluating it would waste more cells than it
             # coalesces.  Split by platform -- each sub-grid is dense.
             by_platform: dict[Platform, list[BatchRequest]] = {}
-            for request, _, _ in cells:
+            for request, _, _, _ in cells:
                 by_platform.setdefault(request.params["platform"], []).append(
                     request
                 )
@@ -889,36 +946,36 @@ class EvaluationService:
                 self._run_simulation_grid(
                     [request.task for request in subset],
                     [platform],
+                    policies[:1],
                     subset,
-                    [(request, row, 0) for row, request in enumerate(subset)],
+                    [(request, row, 0, 0) for row, request in enumerate(subset)],
                 )
             return
-        self._run_simulation_grid(tasks, platforms, requests, cells)
+        self._run_simulation_grid(tasks, platforms, policies, requests, cells)
 
     def _run_simulation_grid(
         self,
         tasks: list[DagTask],
         platforms: list[Platform],
+        policies: list[SchedulingPolicy],
         requests: list[BatchRequest],
-        cells: list[tuple[BatchRequest, int, int]],
+        cells: list[tuple[BatchRequest, int, int, int]],
     ) -> None:
         params = requests[0].params
-        policy = build_policy(
-            params["policy"], params["policy_seed"], params["priorities"]
-        )
         lanes = len(tasks) * len(platforms)
-        engine = "auto" if lanes >= self.VECTOR_MIN_LANES else "dense"
+        engine = "auto" if lanes >= self.vector_threshold else "dense"
         grid = simulate_many(
             tasks,
             platforms,
-            policy,
+            policies,
             offload_enabled=params["offload_enabled"],
             jobs=self._jobs,
             engine=engine,
         )
-        self._count_engine_call(lanes)
-        for request, row, col in cells:
-            self._finish(request, simulation_payload(grid[row, col, 0]))
+        self._count_engine_call(lanes * len(policies))
+        self._sim_engines.inc(engine=resolve_engine(engine))
+        for request, row, col, slab in cells:
+            self._finish(request, simulation_payload(grid[row, col, slab]))
 
     def _run_analysis_group(self, requests: list[BatchRequest]) -> None:
         params = requests[0].params

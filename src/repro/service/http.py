@@ -588,6 +588,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "the exact engines again",
     )
     parser.add_argument(
+        "--vector-threshold",
+        type=int,
+        default=None,
+        help="lane count (tasks x platforms) from which simulation grids "
+        "run on the batched lockstep kernel instead of the dense engine "
+        "(default: the measured calibration table for this host's backend; "
+        "env REPRO_VECTOR_THRESHOLD also overrides)",
+    )
+    parser.add_argument(
         "--port-file",
         default=None,
         help="write the bound port to this file once listening "
@@ -610,6 +619,7 @@ def serve_from_args(args: argparse.Namespace) -> int:
             oracle_budget=args.oracle_budget,
             breaker_threshold=args.breaker_threshold,
             breaker_reset=args.breaker_reset,
+            vector_threshold=args.vector_threshold,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

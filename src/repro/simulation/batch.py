@@ -59,15 +59,34 @@ from .schedulers import (
     policy_vector_kind,
 )
 from .vectorized import simulate_column_vectorized
+from .vectorized_compiled import resolve_backend
 
-__all__ = ["simulate_many"]
+__all__ = ["simulate_many", "resolve_engine"]
 
 #: Tasks per dispatched chunk.  Fixed (never derived from the worker count)
 #: so that chunk boundaries -- and therefore the spawned policy streams --
 #: are identical for any ``jobs``.
 DEFAULT_CHUNK_SIZE = 16
 
-_ENGINES = ("auto", "dense")
+_ENGINES = ("auto", "dense", "lockstep", "compiled")
+
+#: Lockstep-kernel backend behind each non-dense engine name.
+_ENGINE_BACKEND = {"auto": "auto", "lockstep": "numpy", "compiled": "compiled"}
+
+
+def resolve_engine(engine: str) -> str:
+    """Concrete engine name that will serve vectorisable policy columns.
+
+    ``auto`` resolves to ``compiled`` when the C kernel is available on this
+    host and to the numpy ``lockstep`` kernel otherwise; the explicit names
+    map to themselves.  (Non-vectorisable policies always take the dense
+    per-cell fallback regardless of the engine.)
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    if engine == "auto":
+        return "compiled" if resolve_backend("auto") == "compiled" else "lockstep"
+    return engine
 
 
 def _dense_column(entries, platforms, policy, offload_enabled) -> np.ndarray:
@@ -91,9 +110,13 @@ def _simulate_columns(
         (len(entries), len(platforms), len(policies)), dtype=np.float64
     )
     for q, policy in enumerate(policies):
-        if engine == "auto" and policy_vector_kind(policy) is not None:
+        if engine != "dense" and policy_vector_kind(policy) is not None:
             out[:, :, q] = simulate_column_vectorized(
-                entries, platforms, policy, offload_enabled
+                entries,
+                platforms,
+                policy,
+                offload_enabled,
+                backend=_ENGINE_BACKEND[engine],
             )
         else:
             out[:, :, q] = _dense_column(
@@ -175,10 +198,15 @@ def simulate_many(
         on it (chunk boundaries seed the spawned policies) but never on
         ``jobs``.
     engine:
-        ``"auto"`` (default): lockstep kernel for vectorisable policies,
-        dense fallback otherwise.  ``"dense"``: force the dense per-cell
-        path everywhere (the PR-3 behaviour; kept as the benchmark
-        baseline and an escape hatch).
+        ``"auto"`` (default): the lockstep kernel for vectorisable
+        policies -- on its compiled C backend when available on this host,
+        the numpy backend otherwise -- with the dense fallback for custom
+        policies.  ``"lockstep"``: force the numpy kernel backend;
+        ``"compiled"``: force the C backend (raises when unavailable).
+        ``"dense"``: force the dense per-cell path everywhere (the PR-3
+        behaviour; kept as the benchmark baseline and an escape hatch).
+        All engines are bit-identical; see :func:`resolve_engine` for what
+        ``auto`` picks.
 
     Returns
     -------
@@ -230,8 +258,9 @@ def simulate_many(
         # is evaluated chunk by chunk (matching the dense path draw for
         # draw).  Custom policies take the dense per-cell fallback.
         out = np.empty(shape, dtype=np.float64)
+        backend = _ENGINE_BACKEND.get(engine)
         for q, policy in enumerate(policy_list):
-            kind = policy_vector_kind(policy) if engine == "auto" else None
+            kind = policy_vector_kind(policy) if engine != "dense" else None
             per_chunk = kind is None or kind == VECTOR_RANDOM
             if not per_chunk:
                 out[:, :, q] = simulate_column_vectorized(
@@ -239,6 +268,7 @@ def simulate_many(
                     platform_list,
                     policy.spawned(seeds[q]),
                     offload_enabled,
+                    backend=backend,
                 )
                 continue
             row = 0
@@ -250,7 +280,8 @@ def simulate_many(
                     )
                 else:
                     block = simulate_column_vectorized(
-                        chunk, platform_list, spawned, offload_enabled
+                        chunk, platform_list, spawned, offload_enabled,
+                        backend=backend,
                     )
                 out[row : row + len(chunk), :, q] = block
                 row += len(chunk)

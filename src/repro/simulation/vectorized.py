@@ -53,11 +53,14 @@ The kernel understands the four priority families of the built-in policies
   semantics of the scalar engines are preserved; when one policy instance
   serves several cells, the draws are consumed in cell order).
 
-The stamped families keep scan-based ready pools (a masked two-pass row
-``argmin`` -- primary key, then tie-breaker -- replays the scalar engines'
-heap order exactly); they are simulated correctly but without the fifo
-path's throughput, which is fine: every sweep driver defaults to the
-breadth-first scheduler.  Custom or subclassed policies have no vector kind;
+The stamped families keep scan-based ready pools whose entries carry one
+*packed* float64 key: the dense rank of the primary value (equal values
+share a rank) scaled past the arrival stamp, ``rank * M + arrival`` with
+``M`` larger than any stamp -- so a single masked row ``argmin`` realises
+the scalar engines' lexicographic ``(primary, arrival)`` heap order
+exactly, without a second tie-break pass.  They are simulated correctly
+but without the fifo path's throughput, which is fine: every sweep driver
+defaults to the breadth-first scheduler.  Custom or subclassed policies have no vector kind;
 callers (:func:`repro.simulation.batch.simulate_many`) fall back to the
 dense engine for those cells.
 
@@ -112,6 +115,7 @@ from .schedulers import (
     SchedulingPolicy,
     policy_vector_kind,
 )
+from .vectorized_compiled import resolve_backend, run_lanes_compiled
 
 __all__ = [
     "VectorCell",
@@ -251,9 +255,27 @@ class _LockstepBatch:
         self.instant = self.wcet == 0.0
         self.ready_time = np.zeros(N, dtype=np.float64)
 
+        # Packed stamped-family keys: the scalar engines order ready pools
+        # by (primary value, arrival stamp).  Primary values are known
+        # upfront per lane (static per-node keys; the pre-consumed draw
+        # pool; -arrival for lifo), so each lane's values are *dense-ranked*
+        # once (equal values share a rank, preserving the tie) and every
+        # pool entry carries the single exact float64 ``rank * M + stamp``
+        # with ``M`` above any stamp -- one masked row argmin then realises
+        # the full lexicographic order (ranks and stamps are small integers,
+        # so the packing is exact in float64).
+        self._stamp_mult = float(int(ns.max()) + 1) if B else 1.0
         if kind == VECTOR_STATIC:
-            self.key_flat = (
-                np.concatenate([lane.static_keys for lane in lanes])
+            self.rank_flat = (
+                np.concatenate(
+                    [
+                        np.unique(
+                            np.asarray(lane.static_keys, dtype=np.float64),
+                            return_inverse=True,
+                        )[1].astype(np.float64)
+                        for lane in lanes
+                    ]
+                )
                 if N
                 else np.empty(0, dtype=np.float64)
             )
@@ -262,8 +284,16 @@ class _LockstepBatch:
             self.draw_off = np.concatenate(
                 ([0], np.cumsum(np.array(counts, dtype=np.int64)))
             )[:-1]
-            self.draws_flat = (
-                np.concatenate([lane.draws for lane in lanes])
+            self.draw_rank_flat = (
+                np.concatenate(
+                    [
+                        np.unique(
+                            np.asarray(lane.draws, dtype=np.float64),
+                            return_inverse=True,
+                        )[1].astype(np.float64)
+                        for lane in lanes
+                    ]
+                )
                 if sum(counts)
                 else np.empty(0, dtype=np.float64)
             )
@@ -339,18 +369,16 @@ class _LockstepBatch:
                 self.fqd_head = np.zeros((B, self.A), dtype=np.int64)
                 self.fqd_tail = np.zeros((B, self.A), dtype=np.int64)
         else:
-            # Scan pools for the stamped families: (B, W) primary /
-            # tie-break / node matrices, swap-remove, no internal order (the
-            # per-lane key pairs are unique, so selection never depends on
-            # pool slot positions).
+            # Scan pools for the stamped families: (B, W) packed-key / node
+            # matrices, swap-remove, no internal order (the per-lane packed
+            # keys are unique, so selection never depends on pool slot
+            # positions).
             self.W = 8
             self.rp_key = np.full((B, self.W), _INF)
-            self.rp_sec = np.full((B, self.W), _INF)
             self.rp_node = np.full((B, self.W), -1, dtype=np.int64)
             self.rp_count = np.zeros(B, dtype=np.int64)
             self.Wd = 2
             self.dp_key = np.full((B, self.A, self.Wd), _INF)
-            self.dp_sec = np.full((B, self.A, self.Wd), _INF)
             self.dp_node = np.full((B, self.A, self.Wd), -1, dtype=np.int64)
             self.dp_count = np.zeros((B, self.A), dtype=np.int64)
         #: Python-side count of queued device nodes: most steps have none
@@ -374,7 +402,6 @@ class _LockstepBatch:
             new_w *= 2
         pad = new_w - self.W
         self.rp_key = np.hstack([self.rp_key, np.full((self.B, pad), _INF)])
-        self.rp_sec = np.hstack([self.rp_sec, np.full((self.B, pad), _INF)])
         self.rp_node = np.hstack(
             [self.rp_node, np.full((self.B, pad), -1, dtype=np.int64)]
         )
@@ -387,14 +414,13 @@ class _LockstepBatch:
         pad = new_w - self.Wd
         shape = (self.B, self.A, pad)
         self.dp_key = np.concatenate([self.dp_key, np.full(shape, _INF)], axis=2)
-        self.dp_sec = np.concatenate([self.dp_sec, np.full(shape, _INF)], axis=2)
         self.dp_node = np.concatenate(
             [self.dp_node, np.full(shape, -1, dtype=np.int64)], axis=2
         )
         self.Wd = new_w
 
     def _insert_host(
-        self, L: np.ndarray, nodes: np.ndarray, prim: np.ndarray, sec: np.ndarray
+        self, L: np.ndarray, nodes: np.ndarray, prim: np.ndarray
     ) -> None:
         """Append ready entries to the scan pools (``L`` lane-sorted)."""
         firsts, counts = _group_sorted(L)
@@ -407,7 +433,6 @@ class _LockstepBatch:
             np.arange(len(L), dtype=np.int64) - np.repeat(firsts, counts)
         )
         self.rp_key[L, pos] = prim
-        self.rp_sec[L, pos] = sec
         self.rp_node[L, pos] = nodes
         self.rp_count[uL] = base + counts
 
@@ -417,13 +442,12 @@ class _LockstepBatch:
         devices: np.ndarray,
         nodes: np.ndarray,
         prim: np.ndarray,
-        sec: np.ndarray,
     ) -> None:
         ids = L * self.A + devices
         order = np.argsort(ids, kind="stable")
         ids = ids[order]
         L, devices, nodes = L[order], devices[order], nodes[order]
-        prim, sec = prim[order], sec[order]
+        prim = prim[order]
         firsts, counts = _group_sorted(ids)
         uid = ids[firsts]
         uL, uD = uid // self.A, uid % self.A
@@ -435,32 +459,26 @@ class _LockstepBatch:
             np.arange(len(L), dtype=np.int64) - np.repeat(firsts, counts)
         )
         self.dp_key[L, devices, pos] = prim
-        self.dp_sec[L, devices, pos] = sec
         self.dp_node[L, devices, pos] = nodes
         self.dp_count[uL, uD] = base + counts
         self.dev_queued += len(L)
 
     @staticmethod
-    def _select(key: np.ndarray, sec: np.ndarray, lanes: np.ndarray) -> np.ndarray:
-        """Per-row lexicographic ``argmin`` over ``(key, sec)`` pairs.
+    def _select(key: np.ndarray, lanes: np.ndarray) -> np.ndarray:
+        """Per-row ``argmin`` over the packed lexicographic keys.
 
-        Two masked passes: the row minimum of the primary key, then the
-        smallest tie-breaker among the entries attaining it -- exactly the
-        heap order of the scalar engines (the pairs are unique per lane, so
+        A single pass: each pool entry's float64 packs ``(primary rank,
+        arrival stamp)`` exactly, so one row ``argmin`` realises the heap
+        order of the scalar engines (the packed keys are unique per lane, so
         the result never depends on pool slot positions).
         """
-        key, sec = key[lanes], sec[lanes]
-        prim_min = key.min(axis=1)
-        tie = np.where(key == prim_min[:, None], sec, _INF)
-        return tie.argmin(axis=1)
+        return key[lanes].argmin(axis=1)
 
     def _remove_host(self, lanes: np.ndarray, slots: np.ndarray) -> None:
         last = self.rp_count[lanes] - 1
         self.rp_key[lanes, slots] = self.rp_key[lanes, last]
-        self.rp_sec[lanes, slots] = self.rp_sec[lanes, last]
         self.rp_node[lanes, slots] = self.rp_node[lanes, last]
         self.rp_key[lanes, last] = _INF
-        self.rp_sec[lanes, last] = _INF
         self.rp_node[lanes, last] = -1
         self.rp_count[lanes] = last
 
@@ -469,10 +487,8 @@ class _LockstepBatch:
     ) -> None:
         last = self.dp_count[lanes, d] - 1
         self.dp_key[lanes, d, slots] = self.dp_key[lanes, d, last]
-        self.dp_sec[lanes, d, slots] = self.dp_sec[lanes, d, last]
         self.dp_node[lanes, d, slots] = self.dp_node[lanes, d, last]
         self.dp_key[lanes, d, last] = _INF
-        self.dp_sec[lanes, d, last] = _INF
         self.dp_node[lanes, d, last] = -1
         self.dp_count[lanes, d] = last
         self.dev_queued -= len(lanes)
@@ -541,22 +557,26 @@ class _LockstepBatch:
         occ = np.arange(len(L), dtype=np.int64) - np.repeat(firsts, counts)
         stamps = np.repeat(self.arrival_count[uL], counts) + occ + 1
         self.arrival_count[uL] += counts
+        stamps_f = stamps.astype(np.float64)
         if self.kind == VECTOR_STATIC:
-            prim = self.key_flat[nodes]
+            prim = self.rank_flat[nodes] * self._stamp_mult + stamps_f
         elif self.kind == VECTOR_LIFO:
-            prim = (-stamps).astype(np.float64)
+            prim = -stamps_f
         else:  # VECTOR_RANDOM
-            prim = self.draws_flat[self.draw_off[L] + stamps - 1]
-        sec = stamps.astype(np.float64)
+            prim = (
+                self.draw_rank_flat[self.draw_off[L] + stamps - 1]
+                * self._stamp_mult
+                + stamps_f
+            )
         devices = self.assigned[nodes]
         host = devices < 0
         if host.all():
-            self._insert_host(L, nodes, prim, sec)
+            self._insert_host(L, nodes, prim)
             return
         if host.any():
-            self._insert_host(L[host], nodes[host], prim[host], sec[host])
+            self._insert_host(L[host], nodes[host], prim[host])
         dev = ~host
-        self._insert_device(L[dev], devices[dev], nodes[dev], prim[dev], sec[dev])
+        self._insert_device(L[dev], devices[dev], nodes[dev], prim[dev])
 
     def _fifo_append(self, L: np.ndarray, nodes: np.ndarray) -> None:
         if not len(L):
@@ -803,18 +823,21 @@ class _LockstepBatch:
         self.arrival_count[lane] += 1
         stamp = int(self.arrival_count[lane])
         if self.kind == VECTOR_STATIC:
-            prim = float(self.key_flat[node])
+            prim = float(self.rank_flat[node]) * self._stamp_mult + stamp
         elif self.kind == VECTOR_LIFO:
             prim = float(-stamp)
         else:  # VECTOR_RANDOM
-            prim = float(self.draws_flat[self.draw_off[lane] + stamp - 1])
+            prim = (
+                float(self.draw_rank_flat[self.draw_off[lane] + stamp - 1])
+                * self._stamp_mult
+                + stamp
+            )
         device = int(self.assigned[node])
         if device < 0:
             count = int(self.rp_count[lane])
             if count >= self.W:
                 self._grow_host(count + 1)
             self.rp_key[lane, count] = prim
-            self.rp_sec[lane, count] = float(stamp)
             self.rp_node[lane, count] = node
             self.rp_count[lane] = count + 1
         else:
@@ -822,7 +845,6 @@ class _LockstepBatch:
             if count >= self.Wd:
                 self._grow_device(count + 1)
             self.dp_key[lane, device, count] = prim
-            self.dp_sec[lane, device, count] = float(stamp)
             self.dp_node[lane, device, count] = node
             self.dp_count[lane, device] = count + 1
             self.dev_queued += 1
@@ -947,7 +969,7 @@ class _LockstepBatch:
         can = (self.free_cores[cand] > 0) & (self.rp_count[cand] > 0)
         lanes = cand[can]
         while len(lanes):
-            slots = self._select(self.rp_key, self.rp_sec, lanes)
+            slots = self._select(self.rp_key, lanes)
             nodes = self.rp_node[lanes, slots]
             self._remove_host(lanes, slots)
             self._place_host(lanes, nodes, stamped=True)
@@ -959,9 +981,7 @@ class _LockstepBatch:
                 lanes = cand[can]
                 if not len(lanes):
                     continue
-                slots = self._select(
-                    self.dp_key[:, d, :], self.dp_sec[:, d, :], lanes
-                )
+                slots = self._select(self.dp_key[:, d, :], lanes)
                 nodes = self.dp_node[lanes, d, slots]
                 self._remove_device(lanes, d, slots)
                 self._place_device(lanes, d, nodes, stamped=True)
@@ -1159,6 +1179,7 @@ def simulate_column_vectorized(
     platforms: Sequence[Union[Platform, int]],
     policy: SchedulingPolicy,
     offload_enabled: bool = True,
+    backend: str = "numpy",
 ) -> np.ndarray:
     """Makespans of a ``task x platform`` grid under one vectorisable policy.
 
@@ -1170,6 +1191,11 @@ def simulate_column_vectorized(
     ``(task, platform)`` order, so a stateful :class:`RandomPolicy` consumes
     its stream exactly like the scalar engines' nested loops.  Returns an
     array of shape ``(len(entries), len(platforms))``.
+
+    ``backend`` selects the kernel implementation per
+    :func:`~repro.simulation.vectorized_compiled.resolve_backend`:
+    ``"numpy"`` (default -- the lockstep batch below), ``"compiled"`` (the
+    C step loop) or ``"auto"``.  All backends are bit-identical.
     """
     kind = policy_vector_kind(policy)
     if kind is None:
@@ -1177,6 +1203,7 @@ def simulate_column_vectorized(
             f"policy {type(policy).__name__!r} has no vector kind; "
             "simulate it with the dense engine instead"
         )
+    backend = resolve_backend(backend)
     platform_list = [_as_platform(platform) for platform in platforms]
     if not platform_list:
         raise ValueError("simulate_column_vectorized needs at least one platform")
@@ -1219,6 +1246,11 @@ def simulate_column_vectorized(
             index += 1
     if not lanes:
         return np.empty((0, len(platform_list)))
+    if backend == "compiled":
+        # Lanes already sit in (task, platform) order == the output order.
+        return run_lanes_compiled(lanes, [kind] * len(lanes)).reshape(
+            len(entries), len(platform_list)
+        )
     batch = _LockstepBatch(kind, lanes)
     out = np.empty(len(lanes))
     # run() returns lane-internal order (the batch sorts big lanes first).
@@ -1226,7 +1258,9 @@ def simulate_column_vectorized(
     return out.reshape(len(entries), len(platform_list))
 
 
-def simulate_makespans_vectorized(cells: Sequence[VectorCell]) -> np.ndarray:
+def simulate_makespans_vectorized(
+    cells: Sequence[VectorCell], backend: str = "numpy"
+) -> np.ndarray:
     """Makespans of many independent simulations, via the lockstep kernel.
 
     Cells are grouped by the priority family of their policy
@@ -1235,9 +1269,32 @@ def simulate_makespans_vectorized(cells: Sequence[VectorCell]) -> np.ndarray:
     makespan is bit-identical to ``simulate(...).makespan()`` for the same
     cell.  Raises :class:`ValueError` for policies without a vector kind
     (custom or subclassed policies -- use the dense engine for those).
+
+    With ``backend="compiled"`` (or ``"auto"`` on a host with a C
+    compiler) the cells run through the C step loop instead -- all
+    families in one native call, no grouping needed.
     """
     cells = list(cells)
+    backend = resolve_backend(backend)
     out = np.empty(len(cells), dtype=np.float64)
+    if backend == "compiled":
+        lanes: list[_Lane] = []
+        kinds: list[str] = []
+        for index, cell in enumerate(cells):
+            policy = (
+                cell.policy if cell.policy is not None else BreadthFirstPolicy()
+            )
+            kind = policy_vector_kind(policy)
+            if kind is None:
+                raise ValueError(
+                    f"policy {type(policy).__name__!r} has no vector kind; "
+                    "simulate it with the dense engine instead"
+                )
+            lanes.append(_prepare_lane(cell, kind, index))
+            kinds.append(kind)
+        if lanes:
+            out[:] = run_lanes_compiled(lanes, kinds)
+        return out
     groups: dict[str, list[_Lane]] = {}
     for index, cell in enumerate(cells):
         policy = cell.policy if cell.policy is not None else BreadthFirstPolicy()
@@ -1264,6 +1321,7 @@ def simulate_makespan_lockstep(
     device_assignment: Optional[Mapping[NodeId, int]] = None,
     *,
     compiled: Optional[CompiledTask] = None,
+    backend: str = "numpy",
 ) -> float:
     """Single-cell convenience wrapper around the lockstep kernel.
 
@@ -1284,6 +1342,7 @@ def simulate_makespan_lockstep(
                     device_assignment=device_assignment,
                     compiled=compiled,
                 )
-            ]
+            ],
+            backend=backend,
         )[0]
     )

@@ -1,0 +1,137 @@
+"""Compiled-backend dispatch for the lockstep kernel's lanes.
+
+This module is the bridge between the lane representation of
+:mod:`repro.simulation.vectorized` (a list of ``_Lane`` records: compiled
+task view, platform, device-assignment array, optional static keys /
+pre-consumed draws) and the C step-loop kernel in
+:mod:`repro.simulation._kernels`: it concatenates the lanes into the flat
+global node space the kernel expects -- node offsets, WCETs, the globally
+rebased CSR, initial in-degrees, device assignments, per-lane resources and
+priority-family codes -- and runs them all in **one** native call (mixed
+families are fine; the kernel switches per lane).
+
+It deliberately imports nothing from ``vectorized`` so the dependency chain
+stays a straight line (``vectorized`` -> here -> ``_kernels``); lanes are
+duck-typed on the ``_Lane`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import _kernels
+from .schedulers import VECTOR_RANDOM, VECTOR_STATIC
+
+__all__ = ["BACKENDS", "resolve_backend", "run_lanes_compiled"]
+
+#: Recognised lockstep-kernel backends.  ``auto`` resolves to ``compiled``
+#: when the C kernel is available on this host and ``numpy`` otherwise.
+BACKENDS = ("auto", "numpy", "compiled")
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a backend name to the concrete one that will run.
+
+    ``auto`` silently degrades to ``numpy`` when the compiled kernel cannot
+    be built (no C compiler, or ``REPRO_COMPILED=0``); an *explicit*
+    ``compiled`` request raises instead -- callers asking for the compiled
+    backend by name want its absence to be loud.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if backend == "auto":
+        return "compiled" if _kernels.compiled_available() else "numpy"
+    if backend == "compiled" and not _kernels.compiled_available():
+        raise RuntimeError(
+            "compiled kernel backend unavailable: "
+            f"{_kernels.compiled_unavailable_reason()}"
+        )
+    return backend
+
+
+def run_lanes_compiled(lanes: Sequence, kinds: Sequence[str]) -> np.ndarray:
+    """Makespans of ``lanes`` (parallel ``kinds`` list) via the C kernel.
+
+    Returns the per-lane makespans in input order; bit-identical to the
+    scalar engines and the numpy lockstep kernel by the contract of
+    :mod:`repro.simulation._kernels`.
+    """
+    B = len(lanes)
+    if B == 0:
+        return np.empty(0, dtype=np.float64)
+    ns = np.array([len(lane.compiled.nodes) for lane in lanes], dtype=np.int64)
+    node_off = np.concatenate(([0], np.cumsum(ns)))
+    N = int(node_off[-1])
+    es = np.array(
+        [len(lane.compiled.succ_idx) for lane in lanes], dtype=np.int64
+    )
+    edge_off = np.concatenate(([0], np.cumsum(es)))
+    if N:
+        wcet = np.concatenate([lane.compiled.wcet for lane in lanes]).astype(
+            np.float64, copy=False
+        )
+        ptr = np.concatenate(
+            [lane.compiled.succ_ptr_array[:-1] for lane in lanes]
+            + [edge_off[-1:]]
+        )
+        ptr[:-1] += np.repeat(edge_off[:-1], ns)
+        if edge_off[-1]:
+            idx = np.concatenate(
+                [lane.compiled.succ_idx_array for lane in lanes]
+            )
+            idx += np.repeat(node_off[:-1], es)
+        else:
+            idx = np.empty(0, dtype=np.int64)
+        in_degree = np.concatenate(
+            [lane.compiled.in_degree_array for lane in lanes]
+        )
+        assigned = np.concatenate([lane.assigned for lane in lanes])
+    else:
+        wcet = np.empty(0, dtype=np.float64)
+        ptr = np.zeros(1, dtype=np.int64)
+        idx = np.empty(0, dtype=np.int64)
+        in_degree = np.empty(0, dtype=np.int64)
+        assigned = np.empty(0, dtype=np.int64)
+
+    static_key = np.zeros(N, dtype=np.float64)
+    draw_off = np.zeros(B, dtype=np.int64)
+    draw_parts: list[np.ndarray] = []
+    total_draws = 0
+    kind_codes = np.empty(B, dtype=np.int64)
+    for i, (lane, kind) in enumerate(zip(lanes, kinds)):
+        kind_codes[i] = _kernels.KIND_CODES[kind]
+        draw_off[i] = total_draws
+        if kind == VECTOR_STATIC:
+            static_key[node_off[i] : node_off[i + 1]] = lane.static_keys
+        elif kind == VECTOR_RANDOM:
+            draws = np.asarray(lane.draws, dtype=np.float64)
+            if len(draws):
+                draw_parts.append(draws)
+                total_draws += len(draws)
+    draws_flat = (
+        np.concatenate(draw_parts)
+        if draw_parts
+        else np.empty(0, dtype=np.float64)
+    )
+    host_cores = np.array(
+        [lane.platform.host_cores for lane in lanes], dtype=np.int64
+    )
+    accelerators = np.array(
+        [lane.platform.accelerators for lane in lanes], dtype=np.int64
+    )
+    return _kernels.run_lanes(
+        node_off,
+        wcet,
+        ptr,
+        idx,
+        in_degree,
+        assigned,
+        static_key,
+        draws_flat,
+        draw_off,
+        host_cores,
+        accelerators,
+        kind_codes,
+    )

@@ -28,6 +28,8 @@ _RESULTS = Path(__file__).parent.parent / "benchmarks" / "results" / "paper_scal
 
 FIGURE6_GOLDEN = _DATA / "figure6_paper_golden.json"
 FIGURE7_GOLDEN = _DATA / "figure7_paper_golden.json"
+FIGURE6_UPPER_GOLDEN = _DATA / "figure6_upper_range_golden.json"
+ABLATION_GOLDEN = _DATA / "scheduler_ablation_paper_golden.json"
 
 _slow = pytest.mark.skipif(
     not os.environ.get("REPRO_SLOW_TESTS"),
@@ -64,6 +66,41 @@ class TestCommittedArtefactsConsistent:
         labels = {series["label"] for series in document["series"]}
         assert labels == {"R_hom m=2", "R_het m=2", "R_hom m=8", "R_het m=8"}
 
+    def test_figure6_upper_golden_matches_recorded_run(self):
+        assert _load(FIGURE6_UPPER_GOLDEN) == _load(
+            _RESULTS / "figure6_upper_range.json"
+        )
+
+    def test_ablation_golden_matches_recorded_run(self):
+        assert _load(ABLATION_GOLDEN) == _load(
+            _RESULTS / "scheduler_ablation_paper.json"
+        )
+
+    def test_figure6_upper_has_paper_shape(self):
+        document = _load(FIGURE6_UPPER_GOLDEN)
+        assert document["metadata"]["generator"] == "large tasks, n in [250, 400]"
+        assert document["metadata"]["dags_per_point"] == 100
+        labels = [series["label"] for series in document["series"]]
+        assert labels == ["m=2", "m=4", "m=8", "m=16"]
+        for series in document["series"]:
+            assert len(series["x"]) == 15  # the paper's fraction grid
+
+    def test_ablation_has_all_seven_policies(self):
+        from repro.experiments.ablations import ABLATION_POLICY_NAMES
+
+        document = _load(ABLATION_GOLDEN)
+        labels = [series["label"] for series in document["series"]]
+        assert labels == list(ABLATION_POLICY_NAMES)
+        metadata = document["metadata"]
+        # 15 points x 100 DAGs x {original, transformed} x 7 policies.
+        assert metadata["requests"] == 15 * 100 * 2 * 7
+        assert metadata["dags_per_point"] == 100
+        assert metadata["cores"] == 4
+        assert metadata["served_by"] == "EvaluationService micro-batch queue"
+        for series in document["series"]:
+            assert len(series["x"]) == 15
+            assert series["metadata"]["crossover_fraction"] is not None
+
 
 @_slow
 @pytest.mark.slow
@@ -93,3 +130,24 @@ class TestPaperScaleReruns:
             "reasons"
         )
         assert document == _load(FIGURE7_GOLDEN)
+
+    def test_figure6_upper_range_reproduces_golden(self):
+        from repro.experiments.config import paper_scale
+        from repro.experiments.figure6 import run_figure6
+        from repro.generator.presets import LARGE_TASKS_UPPER_RANGE
+
+        result = run_figure6(
+            scale=paper_scale(), generator_config=LARGE_TASKS_UPPER_RANGE
+        )
+        # run_paper_scale.py renames the result before publishing it.
+        result.name = "figure6_upper_range"
+        result.title += " (upper task-size range)"
+        assert result.to_dict() == _load(FIGURE6_UPPER_GOLDEN)
+
+    def test_scheduler_ablation_reproduces_golden(self):
+        from repro.experiments.ablations import run_scheduler_ablation_service
+        from repro.experiments.config import paper_scale
+
+        result = run_scheduler_ablation_service(scale=paper_scale())
+        result.name = "scheduler_ablation_paper"
+        assert result.to_dict() == _load(ABLATION_GOLDEN)

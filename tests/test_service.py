@@ -660,6 +660,103 @@ class TestEvaluationServiceSemantics:
 
 
 # ----------------------------------------------------------------------
+# Engine selection: measured crossover threshold + per-engine accounting
+# ----------------------------------------------------------------------
+class TestEngineSelectionAndThreshold:
+    def test_constructor_threshold_overrides_calibration(self):
+        with EvaluationService(vector_threshold=3, **FAST_BATCHING) as service:
+            assert service.stats()["engine"]["vector_threshold"] == 3
+
+    def test_env_threshold_overrides_calibration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "7")
+        with EvaluationService(**FAST_BATCHING) as service:
+            assert service.stats()["engine"]["vector_threshold"] == 7
+
+    def test_explicit_threshold_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_THRESHOLD", "7")
+        with EvaluationService(vector_threshold=2, **FAST_BATCHING) as service:
+            assert service.stats()["engine"]["vector_threshold"] == 2
+
+    def test_default_threshold_comes_from_calibration_table(self):
+        from repro.simulation.calibration import vector_threshold
+
+        with EvaluationService(**FAST_BATCHING) as service:
+            assert (
+                service.stats()["engine"]["vector_threshold"] == vector_threshold()
+            )
+
+    def test_by_engine_counters_and_prometheus_series(self):
+        from repro.simulation.batch import resolve_engine
+
+        tasks = [make_random_heterogeneous_task(s, 0.2, n_max=30) for s in range(4)]
+
+        def burst(service):
+            with ThreadPoolExecutor(4) as pool:
+                return list(
+                    pool.map(
+                        lambda t: service.submit_simulation(t, 2, timeout=120),
+                        tasks,
+                    )
+                )
+
+        # Below the (huge) threshold every group runs on the dense engine.
+        with EvaluationService(vector_threshold=10**6, **FAST_BATCHING) as service:
+            dense_values = burst(service)
+            by_engine = service.stats()["engine"]["by_engine"]
+            assert by_engine["dense"] >= 1
+            assert by_engine["lockstep"] == 0 and by_engine["compiled"] == 0
+            rendered = service.metrics.render_prometheus()
+            assert 'repro_service_sim_engine_total{engine="dense"}' in rendered
+
+        # Threshold 1: every grid goes through the vector path, served by
+        # whichever concrete engine "auto" resolves to on this machine.
+        with EvaluationService(vector_threshold=1, **FAST_BATCHING) as service:
+            vector_values = burst(service)
+            by_engine = service.stats()["engine"]["by_engine"]
+            assert by_engine["dense"] == 0
+            assert by_engine[resolve_engine("auto")] >= 1
+        # Engine choice never changes answers (the bit-identity contract).
+        assert vector_values == dense_values
+
+    def test_multi_policy_burst_coalesces_into_one_grid(self):
+        # An ablation-shaped burst (every task under every deterministic
+        # policy on one platform) must flush as a single task x platform x
+        # policy grid: one batch, zero wasted cells.
+        tasks = [
+            make_random_heterogeneous_task(40 + s, 0.2, n_max=30) for s in range(3)
+        ]
+        policies = ["breadth-first", "shortest-first", "longest-first"]
+        platform = Platform(2, 1)
+        service = EvaluationService(
+            flush_interval=30.0, quiet_interval=10.0, vector_threshold=1
+        )
+        with ThreadPoolExecutor(9) as pool:
+            futures = {
+                (index, name): pool.submit(
+                    service.submit_simulation,
+                    task,
+                    platform,
+                    policy=name,
+                    timeout=60,
+                )
+                for index, task in enumerate(tasks)
+                for name in policies
+            }
+            while service.stats()["batching"]["pending"] < 9:
+                time.sleep(0.001)
+            service.close(timeout=60)
+            for index, task in enumerate(tasks):
+                for name in policies:
+                    assert futures[(index, name)].result(60) == (
+                        simulate_makespan(task, platform, policy_by_name(name))
+                    )
+        stats = service.stats()
+        assert stats["batching"]["batches"] == 1
+        assert stats["engine"]["evaluated_cells"] == 9  # 3 tasks x 1 x 3 policies
+        assert stats["engine"]["batches"] == 1
+
+
+# ----------------------------------------------------------------------
 # Property: cached and uncached answers always agree
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")

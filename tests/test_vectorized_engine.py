@@ -18,7 +18,8 @@ from hypothesis import strategies as st
 
 from repro.core.task import DagTask
 from repro.core.transformation import transform
-from repro.simulation.batch import simulate_many
+from repro.simulation import _kernels
+from repro.simulation.batch import resolve_engine, simulate_many
 from repro.simulation.dense import simulate_makespan_dense
 from repro.simulation.engine import simulate
 from repro.simulation.platform import Platform
@@ -327,3 +328,253 @@ class TestSimulateManyEngines:
         assert np.array_equal(auto, dense)
         with pytest.raises(ValueError):
             simulate_many(tasks, [2], engine="warp")
+
+
+#: Both lockstep-kernel backends; the compiled C backend is skipped cleanly
+#: on hosts without a working C compiler (or with ``REPRO_COMPILED=0``).
+_BACKENDS = [
+    "numpy",
+    pytest.param(
+        "compiled",
+        marks=pytest.mark.skipif(
+            not _kernels.compiled_available(),
+            reason="compiled kernel unavailable: "
+            f"{_kernels.compiled_unavailable_reason()}",
+        ),
+    ),
+]
+
+#: The simulate_many engine name serving each backend explicitly.
+_BACKEND_ENGINE = {"numpy": "lockstep", "compiled": "compiled"}
+
+
+@pytest.mark.parametrize("backend", _BACKENDS)
+class TestBackendBitIdentity:
+    """The PR-8 backend axis: every backend equals the scalar engines."""
+
+    def _assert_backend_identical(
+        self, task, platform, factory, backend, offload_enabled=True, assignment=None
+    ):
+        dense = simulate_makespan_dense(
+            task,
+            platform,
+            factory(),
+            offload_enabled=offload_enabled,
+            device_assignment=assignment,
+        )
+        lockstep = simulate_makespan_lockstep(
+            task,
+            platform,
+            factory(),
+            offload_enabled=offload_enabled,
+            device_assignment=assignment,
+            backend=backend,
+        )
+        assert lockstep == dense
+
+    def test_all_policies_on_original_and_transformed(self, backend):
+        for seed in range(8):
+            base = make_random_heterogeneous_task(seed, 0.25, n_max=22)
+            for task in (base, transform(base).task):
+                for cores in (1, 3):
+                    platform = Platform(cores, 1)
+                    for name, factory in _policy_factories(task, seed):
+                        self._assert_backend_identical(
+                            task, platform, factory, backend
+                        )
+
+    def test_multi_device_assignments(self, backend):
+        for seed in range(6):
+            task = make_random_heterogeneous_task(seed, 0.3, n_max=22)
+            nodes = task.graph.nodes()
+            for accelerators in (2, 3):
+                assignment = {
+                    node: rank % accelerators
+                    for rank, node in enumerate(nodes[::3])
+                }
+                platform = Platform(2, accelerators)
+                for name, factory in _policy_factories(task, seed):
+                    for offload_enabled in (True, False):
+                        self._assert_backend_identical(
+                            task,
+                            platform,
+                            factory,
+                            backend,
+                            offload_enabled=offload_enabled,
+                            assignment=assignment,
+                        )
+
+    def test_non_uniform_steps(self, backend):
+        # Tenth-sum float divergence: completions inside one 1e-12 retire
+        # window with *different* finish floats, on every policy family.
+        tenths = [0.1, 0.2, 0.3]
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            wcets = {
+                f"n{i}": float(tenths[int(rng.integers(3))]) for i in range(16)
+            }
+            edges = [
+                (f"n{i}", f"n{j}")
+                for i in range(16)
+                for j in range(i + 1, 16)
+                if rng.random() < 0.15
+            ]
+            task = DagTask.from_wcets(wcets, edges)
+            for cores in (1, 2):
+                for name, factory in _policy_factories(task, seed):
+                    self._assert_backend_identical(
+                        task, Platform(cores, 1), factory, backend
+                    )
+
+    def test_stamped_ties_near_equal_keys(self, backend):
+        # Equal static keys must fall to the arrival tie-breaker: uniform
+        # WCETs tie every shortest/longest key, and tenth-sum ready times
+        # land within 1e-12 retire windows -- the packed single-float
+        # select must still replay the scalar (key, arrival) heap order.
+        for seed in range(6):
+            rng = np.random.default_rng(seed + 100)
+            wcets = {f"n{i}": 0.1 for i in range(14)}
+            edges = [
+                (f"n{i}", f"n{j}")
+                for i in range(14)
+                for j in range(i + 1, 14)
+                if rng.random() < 0.2
+            ]
+            task = DagTask.from_wcets(wcets, edges)
+            for name in ("shortest-first", "longest-first", "fixed-priority"):
+                for cores in (1, 2, 3):
+                    self._assert_backend_identical(
+                        task,
+                        Platform(cores, 1),
+                        lambda name=name: policy_by_name(name),
+                        backend,
+                    )
+
+    def test_batch_composition_independent(self, backend):
+        # One mixed batch equals per-cell runs on either backend.
+        base = make_random_heterogeneous_task(11, 0.25, n_max=20)
+        tasks = [base, transform(base).task]
+        platforms = [Platform(1, 1), Platform(3, 1)]
+        cells, references = [], []
+        for name in _POLICY_NAMES:
+            for task in tasks:
+                for platform in platforms:
+                    cells.append(
+                        VectorCell(
+                            task=task,
+                            platform=platform,
+                            policy=policy_by_name(name, rng=11),
+                        )
+                    )
+                    references.append(
+                        simulate_makespan_dense(
+                            task, platform, policy_by_name(name, rng=11)
+                        )
+                    )
+        assert (
+            list(simulate_makespans_vectorized(cells, backend=backend))
+            == references
+        )
+
+    def test_simulate_many_engine_and_jobs2(self, backend):
+        tasks = [
+            make_random_heterogeneous_task(seed, 0.2, n_max=18)
+            for seed in range(6)
+        ]
+        tasks += [transform(task).task for task in tasks[:3]]
+        policies = [
+            BreadthFirstPolicy(),
+            policy_by_name("critical-path-first"),
+            RandomPolicy(5),
+        ]
+        engine = _BACKEND_ENGINE[backend]
+        dense = simulate_many(
+            tasks, [2, 4], policies, root_seed=7, chunk_size=4, engine="dense"
+        )
+        serial = simulate_many(
+            tasks, [2, 4], policies, root_seed=7, chunk_size=4, engine=engine
+        )
+        parallel = simulate_many(
+            tasks,
+            [2, 4],
+            policies,
+            root_seed=7,
+            chunk_size=4,
+            engine=engine,
+            jobs=2,
+        )
+        assert np.array_equal(serial, dense)
+        assert np.array_equal(parallel, dense)
+
+
+class TestCompiledBackendPlumbing:
+    def test_resolve_engine_names(self):
+        assert resolve_engine("dense") == "dense"
+        assert resolve_engine("lockstep") == "lockstep"
+        auto = resolve_engine("auto")
+        if _kernels.compiled_available():
+            assert auto == "compiled"
+        else:
+            assert auto == "lockstep"
+        with pytest.raises(ValueError):
+            resolve_engine("warp")
+
+    def test_disabled_env_falls_back_cleanly(self, monkeypatch):
+        # REPRO_COMPILED=0 must make "auto" degrade silently to numpy and
+        # an explicit "compiled" request fail loudly -- the no-compiler CI
+        # leg's contract.
+        from repro.simulation.vectorized_compiled import resolve_backend
+
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        _kernels._reset_for_tests()
+        try:
+            assert not _kernels.compiled_available()
+            assert "disabled" in _kernels.compiled_unavailable_reason()
+            assert resolve_backend("auto") == "numpy"
+            with pytest.raises(RuntimeError):
+                resolve_backend("compiled")
+            assert resolve_engine("auto") == "lockstep"
+            task = make_random_heterogeneous_task(2, 0.2, n_max=15)
+            grid = simulate_many([task], [2], BreadthFirstPolicy())
+            assert grid[0, 0, 0] == simulate_makespan_dense(
+                task, Platform(2, 1), BreadthFirstPolicy()
+            )
+            with pytest.raises(RuntimeError):
+                simulate_makespan_lockstep(
+                    task, 2, BreadthFirstPolicy(), backend="compiled"
+                )
+        finally:
+            monkeypatch.delenv("REPRO_COMPILED", raising=False)
+            _kernels._reset_for_tests()
+
+    def test_py_replay_escape_hatch_still_taken_and_exact(self, monkeypatch):
+        # Transformed tasks put a zero-WCET v_sync on every path: stamped
+        # families route the affected lanes through the scalar _py_replay
+        # fallback.  The regression pins both halves: the hatch is (still)
+        # actually taken on the numpy path, and its results stay exact.
+        from repro.simulation import vectorized as vec
+
+        calls = []
+        original = vec._LockstepBatch._py_replay
+
+        def spy(self, lane, g, f):
+            calls.append(lane)
+            return original(self, lane, g, f)
+
+        monkeypatch.setattr(vec._LockstepBatch, "_py_replay", spy)
+        hit = False
+        for seed in range(10):
+            task = transform(
+                make_random_heterogeneous_task(seed, 0.3, n_max=20)
+            ).task
+            for name in ("critical-path-first", "shortest-first"):
+                calls.clear()
+                dense = simulate_makespan_dense(
+                    task, Platform(2, 1), policy_by_name(name)
+                )
+                lockstep = simulate_makespan_lockstep(
+                    task, Platform(2, 1), policy_by_name(name), backend="numpy"
+                )
+                assert lockstep == dense
+                hit = hit or bool(calls)
+        assert hit, "no seed exercised the _py_replay escape hatch"
