@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Benchmark of the PR-9 shared-capacity coupled workload simulator.
+
+The online-workload subsystem simulates many released job instances
+contending for one host-core/accelerator pool.  Two engines implement the
+same event-loop specification (``src/repro/simulation/workload.py``):
+
+* **scalar reference** -- a per-event heapq loop over individual nodes,
+  the semantic ground truth (``simulate_workload_reference``);
+* **coupled lockstep** -- the numpy engine advancing the whole node space
+  of every in-flight instance per event batch
+  (``simulate_workload(..., backend="numpy")``).
+
+The workload is sized like a saturated serving tier: several periodic
+streams of host-side DAGs with short integer service times (RPC-scale
+work units) released densely onto a wide host, so dozens of instances
+overlap, the event lattice stays coarse, and every event step
+retires/starts nodes in bulk -- the regime the coupled engine exists
+for.  (Fine-grained fractional WCETs fragment the event lattice and
+favour the scalar loop; ``resolve_workload_backend`` keeps ``"auto"`` on
+the reference-compatible numpy path either way.)  Both engines must
+return **bit-identical** per-instance completion times; the coupled
+engine must beat the reference by ``COUPLED_SPEEDUP_TARGET``.
+
+Acceptance is enforced by ``--smoke`` in CI, next to the PR 2-8 smokes;
+a full run writes ``BENCH_PR9.json`` at the repository root, extending
+the performance trajectory of ``BENCH_PR1.json`` ... ``BENCH_PR8.json``.
+
+Run with:  python benchmarks/bench_workload.py  [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import dataclasses  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+from repro.generator.arrivals import PeriodicArrivals  # noqa: E402
+from repro.generator.presets import SMALL_TASKS  # noqa: E402
+from repro.generator.random_dag import DagStructureGenerator  # noqa: E402
+from repro.parallel import spawn_seeds  # noqa: E402
+from repro.simulation.platform import Platform  # noqa: E402
+from repro.simulation.schedulers import policy_by_name  # noqa: E402
+from repro.simulation.workload import (  # noqa: E402
+    JobStream,
+    build_workload,
+    simulate_workload,
+    simulate_workload_reference,
+)
+
+OUTPUT = _REPO_ROOT / "BENCH_PR9.json"
+
+#: Acceptance: coupled lockstep vs the scalar reference event loop.
+COUPLED_SPEEDUP_TARGET = 2.0
+
+#: Shared platform: a wide serving-tier host so many instances overlap.
+HOST_CORES = 1024
+ACCELERATORS = 2
+
+#: Timed repetitions; the best (minimum) time is reported.
+REPEATS = 3
+
+
+def build_benchmark_workload(smoke: bool):
+    """A saturated multi-stream workload on the shared platform.
+
+    Host-side DAGs with short integer WCETs (1..8 time units) on integer
+    periods: the release/finish lattice stays coarse, so each event step
+    carries a large retire/start batch -- the coupled engine's case.  The
+    offered load is ~2x the host capacity, so the platform runs saturated
+    for the whole horizon.
+    """
+    stream_count = 4 if smoke else 6
+    instances_per_stream = 50 if smoke else 60
+    config = dataclasses.replace(
+        SMALL_TASKS.with_node_range(50, 100), c_min=1, c_max=8
+    )
+    streams = []
+    for index, seed in enumerate(spawn_seeds(2018, stream_count)):
+        task = DagStructureGenerator(config, seed).generate_task(f"tau_{index}")
+        # Dense releases relative to the service rate: the platform runs
+        # saturated, which is exactly where per-event batching pays.
+        period = max(
+            1.0, round(stream_count * task.volume / (2.0 * HOST_CORES))
+        )
+        streams.append(
+            JobStream(
+                task=task,
+                arrivals=PeriodicArrivals(period=period),
+                deadline=10.0 * period,
+            )
+        )
+    horizon = instances_per_stream * max(
+        stream.arrivals.period for stream in streams
+    )
+    return build_workload(streams, horizon)
+
+
+def bench_engine(run) -> tuple[float, object]:
+    best_s, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = run()
+        best_s = min(best_s, time.perf_counter() - t0)
+    return best_s, result
+
+
+def main() -> dict:
+    smoke = "--smoke" in sys.argv
+    workload = build_benchmark_workload(smoke)
+    platform = Platform(HOST_CORES, ACCELERATORS)
+    policy = policy_by_name("breadth-first")
+    nodes = sum(len(job.task.graph.nodes()) for job in workload)
+    print(
+        f"workload: {len(workload)} instances, {nodes} nodes total, "
+        f"platform m={HOST_CORES} + {ACCELERATORS} accelerators"
+    )
+
+    reference_s, reference = bench_engine(
+        lambda: simulate_workload_reference(workload, platform, policy)
+    )
+    coupled_s, coupled = bench_engine(
+        lambda: simulate_workload(workload, platform, policy, backend="numpy")
+    )
+
+    identical = bool(
+        np.array_equal(reference.completions, coupled.completions)
+    )
+    speedup = reference_s / max(coupled_s, 1e-9)
+
+    document = {
+        "benchmark": "coupled_workload",
+        "pr": 9,
+        "description": (
+            "Shared-capacity coupled lockstep workload simulator "
+            "(simulation/workload.py) vs the scalar reference event loop "
+            "on a saturated multi-stream workload over a wide host "
+            "(see docs/workloads.md and docs/performance.md section 11)."
+        ),
+        "smoke": smoke,
+        "instances": len(workload),
+        "nodes_total": nodes,
+        "host_cores": HOST_CORES,
+        "accelerators": ACCELERATORS,
+        "miss_ratio": coupled.miss_ratio(),
+        "peak_backlog": coupled.peak_backlog(),
+        "reference_s": reference_s,
+        "coupled_s": coupled_s,
+        "reference_instances_per_s": len(workload) / reference_s,
+        "coupled_instances_per_s": len(workload) / coupled_s,
+        "coupled_speedup": speedup,
+        "acceptance": {
+            "coupled_speedup": speedup,
+            "coupled_speedup_target": COUPLED_SPEEDUP_TARGET,
+            "coupled_speedup_met": speedup >= COUPLED_SPEEDUP_TARGET,
+            "completions_bit_identical": identical,
+        },
+    }
+
+    print(
+        f"scalar reference: {reference_s:.3f}s "
+        f"({document['reference_instances_per_s']:.0f} instances/s) | "
+        f"coupled lockstep: {coupled_s:.3f}s "
+        f"({document['coupled_instances_per_s']:.0f} instances/s, "
+        f"x{speedup:.2f})"
+    )
+    if not smoke:
+        OUTPUT.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"results written to {OUTPUT}")
+    accepted = document["acceptance"]
+    print(
+        f"acceptance: coupled x{speedup:.2f} "
+        f"(target x{COUPLED_SPEEDUP_TARGET:.1f}) -> "
+        f"{'PASS' if accepted['coupled_speedup_met'] else 'FAIL'}; "
+        f"completions bit-identical -> "
+        f"{'PASS' if accepted['completions_bit_identical'] else 'FAIL'}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    result = main()
+    accepted = result["acceptance"]
+    if not all(
+        value for key, value in accepted.items() if isinstance(value, bool)
+    ):
+        sys.exit(1)

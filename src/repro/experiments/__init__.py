@@ -10,6 +10,9 @@
   (Section 5.4);
 * :mod:`repro.experiments.ablations` -- scheduler- and oracle-sensitivity
   studies added by the reproduction;
+* :mod:`repro.experiments.workload` -- schedulability under load: deadline-
+  miss ratio of online job streams vs offered utilisation (reproduction
+  extension);
 * :mod:`repro.experiments.runner` -- single entry point for all of the above;
 * :mod:`repro.experiments.tables` -- text-table / CSV rendering.
 """
@@ -24,6 +27,7 @@ from .ablations import run_ilp_ablation, run_scheduler_ablation
 from .runner import EXPERIMENTS, available_experiments, run_all, run_experiment
 from .tables import format_table, render_result, to_csv, write_csv
 from .worked_example import EXPECTED_VALUES, run_worked_example
+from .workload import run_workload_schedulability
 
 __all__ = [
     "ExperimentResult",
@@ -39,6 +43,7 @@ __all__ = [
     "EXPECTED_VALUES",
     "run_scheduler_ablation",
     "run_ilp_ablation",
+    "run_workload_schedulability",
     "run_experiment",
     "run_all",
     "available_experiments",

@@ -30,6 +30,7 @@ from .figure7 import run_figure7
 from .figure8 import run_figure8
 from .figure9 import run_figure9
 from .worked_example import run_worked_example
+from .workload import run_workload_schedulability
 
 __all__ = ["EXPERIMENTS", "run_experiment", "run_all", "available_experiments"]
 
@@ -42,13 +43,21 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "figure9": run_figure9,
     "ablation-scheduler": run_scheduler_ablation,
     "ablation-ilp": run_ilp_ablation,
+    "workload-schedulability": run_workload_schedulability,
 }
 
 #: Experiments whose drivers support process-parallel sweeps.  The worked
 #: example is a single closed-form evaluation and the scheduler ablation is
 #: dominated by tiny instances; parallelising it would buy nothing.
 _SUPPORTS_JOBS = frozenset(
-    {"figure6", "figure7", "figure8", "figure9", "ablation-ilp"}
+    {
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "ablation-ilp",
+        "workload-schedulability",
+    }
 )
 
 

@@ -10,9 +10,19 @@
 * :mod:`repro.generator.presets` -- the paper's "small tasks" / "large tasks"
   workload presets;
 * :mod:`repro.generator.sweep` -- batches of tasks per target ``C_off``
-  fraction, as consumed by the experiment drivers.
+  fraction, as consumed by the experiment drivers;
+* :mod:`repro.generator.arrivals` -- seeded arrival processes (periodic /
+  sporadic / trace) for online multi-instance workloads.
 """
 
+from .arrivals import (
+    ArrivalProcess,
+    PeriodicArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+    arrival_from_dict,
+    arrival_to_dict,
+)
 from .config import GeneratorConfig, OffloadConfig
 from .layered import LayeredConfig, LayeredDagGenerator, generate_layered_task
 from .offload import (
@@ -40,6 +50,12 @@ from .sweep import (
 )
 
 __all__ = [
+    "ArrivalProcess",
+    "PeriodicArrivals",
+    "SporadicArrivals",
+    "TraceArrivals",
+    "arrival_from_dict",
+    "arrival_to_dict",
     "GeneratorConfig",
     "OffloadConfig",
     "DagStructureGenerator",

@@ -1,0 +1,272 @@
+"""Seeded arrival processes for online multi-instance workloads.
+
+A :class:`JobStream <repro.simulation.workload.JobStream>` couples one DAG
+task with an *arrival process* describing when new job instances of that
+task are released.  Three models cover the standard real-time taxonomy:
+
+* :class:`PeriodicArrivals` -- strictly periodic releases ``offset + k * T``,
+  optionally perturbed by a per-release uniform jitter in ``[0, jitter)``;
+* :class:`SporadicArrivals` -- consecutive releases separated by a uniform
+  random gap in ``[min_gap, max_gap)`` (``min_gap`` is the classical minimum
+  inter-arrival time of the sporadic task model);
+* :class:`TraceArrivals` -- an explicit, replayable release-time list
+  (measured traces, hand-built edge cases).
+
+Draw-identity contract
+----------------------
+Random processes are **stateless**: every call to :meth:`release_times`
+regenerates the same values from the stored seed, which is what makes
+workload requests fingerprintable and cacheable by the service layer.
+Generation is *chunked* exactly like the library's task generator: draw
+``k`` of chunk ``c`` always comes from the child seed
+``spawn_seeds(seed, c + 1)[c]``, never from a sequential stream, so a
+parallel ``jobs=N`` generation is bit-identical to the serial one and the
+test-suite asserts it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..parallel import parallel_map, spawn_seeds
+
+__all__ = [
+    "ArrivalProcess",
+    "PeriodicArrivals",
+    "SporadicArrivals",
+    "TraceArrivals",
+    "arrival_from_dict",
+    "arrival_to_dict",
+]
+
+#: Releases generated per child seed.  Small enough that quick workloads
+#: exercise several chunks (so the draw-identity contract is really tested),
+#: large enough that chunking overhead is invisible.
+ARRIVAL_CHUNK = 64
+
+
+def _draw_chunk(args: tuple[int, int, int]) -> np.ndarray:
+    """Uniform draws for one chunk (module-level: must pickle for jobs=N)."""
+    seed, chunk, count = args
+    child = spawn_seeds(seed, chunk + 1)[chunk]
+    return np.random.default_rng(child).random(count)
+
+
+def _chunked_uniform(
+    seed: int, count: int, jobs: Optional[int] = None
+) -> np.ndarray:
+    """``count`` uniform [0, 1) draws, chunk ``c`` from child seed ``c``.
+
+    The value of draw ``k`` depends only on ``(seed, k)`` -- not on ``count``
+    (children of a :class:`~numpy.random.SeedSequence` are independent of how
+    many siblings are spawned) and not on ``jobs``.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    n_chunks = math.ceil(count / ARRIVAL_CHUNK)
+    sizes = [
+        min(ARRIVAL_CHUNK, count - chunk * ARRIVAL_CHUNK)
+        for chunk in range(n_chunks)
+    ]
+    chunks = parallel_map(
+        _draw_chunk,
+        [(seed, chunk, size) for chunk, size in enumerate(sizes)],
+        jobs=jobs,
+    )
+    return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
+
+class ArrivalProcess:
+    """Base protocol of an arrival process (see module docstring)."""
+
+    kind: str = "arrivals"
+
+    def release_times(
+        self, horizon: float, jobs: Optional[int] = None
+    ) -> np.ndarray:
+        """Sorted float64 release times in ``[0, horizon)``.
+
+        ``jobs`` parallelises the chunked draws without changing a single
+        bit of the result; deterministic processes ignore it.
+        """
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-style spec (wire format and fingerprint input)."""
+        raise NotImplementedError
+
+
+def _check_horizon(horizon: float) -> float:
+    horizon = float(horizon)
+    if not math.isfinite(horizon) or horizon < 0:
+        raise ValueError(f"horizon must be finite and >= 0, got {horizon}")
+    return horizon
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals(ArrivalProcess):
+    """Releases at ``offset + k * period (+ jitter_k)`` for ``k = 0, 1, ...``.
+
+    ``jitter_k`` is uniform in ``[0, jitter)``, drawn per release from the
+    stored seed; ``jitter=0`` (the default) is the strictly periodic model
+    and consumes no randomness.  Releases pushed past the horizon by their
+    jitter are dropped, mirroring the "release after horizon" rule of
+    :func:`repro.simulation.workload.build_workload`.
+    """
+
+    period: float
+    offset: float = 0.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    kind = "periodic"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.period) and self.period > 0):
+            raise ValueError(f"period must be finite and > 0, got {self.period}")
+        if not (math.isfinite(self.offset) and self.offset >= 0):
+            raise ValueError(f"offset must be finite and >= 0, got {self.offset}")
+        if not (math.isfinite(self.jitter) and self.jitter >= 0):
+            raise ValueError(f"jitter must be finite and >= 0, got {self.jitter}")
+
+    def release_times(
+        self, horizon: float, jobs: Optional[int] = None
+    ) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        if self.offset >= horizon:
+            return np.empty(0, dtype=np.float64)
+        count = math.ceil((horizon - self.offset) / self.period)
+        base = self.offset + np.arange(count, dtype=np.float64) * self.period
+        base = base[base < horizon]
+        if self.jitter > 0 and base.size:
+            base = base + self.jitter * _chunked_uniform(
+                self.seed, base.size, jobs=jobs
+            )
+            base = np.sort(base[base < horizon])
+        return base
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "period": float(self.period),
+            "offset": float(self.offset),
+            "jitter": float(self.jitter),
+            "seed": int(self.seed),
+        }
+
+
+@dataclass(frozen=True)
+class SporadicArrivals(ArrivalProcess):
+    """Releases separated by uniform random gaps in ``[min_gap, max_gap)``.
+
+    The first release happens at ``offset + gap_0``: a sporadic source that
+    has *just* released (at the origin) and then honours its minimum
+    inter-arrival time.  ``min_gap`` must be positive so any horizon is
+    covered by finitely many draws.
+    """
+
+    min_gap: float
+    max_gap: float
+    offset: float = 0.0
+    seed: int = 0
+
+    kind = "sporadic"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.min_gap) and self.min_gap > 0):
+            raise ValueError(
+                f"min_gap must be finite and > 0, got {self.min_gap}"
+            )
+        if not (math.isfinite(self.max_gap) and self.max_gap >= self.min_gap):
+            raise ValueError(
+                f"max_gap must be finite and >= min_gap, got {self.max_gap}"
+            )
+        if not (math.isfinite(self.offset) and self.offset >= 0):
+            raise ValueError(f"offset must be finite and >= 0, got {self.offset}")
+
+    def release_times(
+        self, horizon: float, jobs: Optional[int] = None
+    ) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        span = horizon - self.offset
+        if span <= 0:
+            return np.empty(0, dtype=np.float64)
+        # Upper-bound the number of gaps that can fit before the horizon and
+        # draw them all at once: gap k always comes from chunk k // CHUNK, so
+        # the (deliberately generous) count never changes any draw.
+        count = math.ceil(span / self.min_gap)
+        draws = _chunked_uniform(self.seed, count, jobs=jobs)
+        gaps = self.min_gap + (self.max_gap - self.min_gap) * draws
+        releases = self.offset + np.cumsum(gaps)
+        return releases[releases < horizon]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "min_gap": float(self.min_gap),
+            "max_gap": float(self.max_gap),
+            "offset": float(self.offset),
+            "seed": int(self.seed),
+        }
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """An explicit release-time trace, replayed verbatim (then sorted)."""
+
+    times: tuple = field(default_factory=tuple)
+
+    kind = "trace"
+
+    def __init__(self, times: Union[Sequence[float], np.ndarray] = ()) -> None:
+        values = tuple(sorted(float(value) for value in times))
+        for value in values:
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"trace release times must be finite and >= 0, got {value}"
+                )
+        object.__setattr__(self, "times", values)
+
+    def release_times(
+        self, horizon: float, jobs: Optional[int] = None
+    ) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        values = np.asarray(self.times, dtype=np.float64)
+        return values[values < horizon]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "times": [float(value) for value in self.times]}
+
+
+_ARRIVAL_KINDS: dict[str, type] = {
+    PeriodicArrivals.kind: PeriodicArrivals,
+    SporadicArrivals.kind: SporadicArrivals,
+    TraceArrivals.kind: TraceArrivals,
+}
+
+
+def arrival_to_dict(process: ArrivalProcess) -> dict:
+    """Canonical dict spec of ``process`` (inverse of :func:`arrival_from_dict`)."""
+    return process.to_dict()
+
+
+def arrival_from_dict(document: dict) -> ArrivalProcess:
+    """Rebuild an arrival process from its canonical dict spec."""
+    if not isinstance(document, dict):
+        raise ValueError(f"arrival spec must be a dict, got {type(document).__name__}")
+    spec = dict(document)
+    kind = spec.pop("kind", None)
+    cls = _ARRIVAL_KINDS.get(kind)
+    if cls is None:
+        valid = ", ".join(sorted(_ARRIVAL_KINDS))
+        raise ValueError(f"unknown arrival kind {kind!r}; valid kinds: {valid}")
+    if cls is TraceArrivals:
+        return TraceArrivals(spec.get("times", ()))
+    try:
+        return cls(**spec)
+    except TypeError as error:
+        raise ValueError(f"malformed {kind!r} arrival spec: {error}") from None

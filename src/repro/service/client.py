@@ -381,3 +381,59 @@ class ServiceClient:
         if deadline is not None:
             document["timeout"] = deadline
         return self._request("/makespan", document, timeout=timeout)
+
+    def workload(
+        self,
+        streams: Iterable[dict],
+        horizon: float,
+        cores: int = 2,
+        accelerators: int = 1,
+        *,
+        policy: str = "breadth-first",
+        policy_seed: Optional[int] = None,
+        offload_enabled: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> dict:
+        """Online multi-instance workload metrics (``POST /workload``).
+
+        Each stream is a dict with a ``"task"`` (a :class:`DagTask` or a
+        task document), an ``"arrivals"`` spec (an
+        :class:`~repro.generator.arrivals.ArrivalProcess` or its dict
+        form), and optional ``"deadline"`` / ``"name"`` fields.  Returns
+        the schedulability summary plus per-instance response times.
+        """
+        wire_streams = []
+        for spec in streams:
+            spec = dict(spec)
+            if "task" not in spec or "arrivals" not in spec:
+                raise ValueError(
+                    "each stream needs 'task' and 'arrivals' entries"
+                )
+            arrivals = spec["arrivals"]
+            entry = {
+                "task": self._task_document(spec["task"]),
+                "arrivals": (
+                    arrivals
+                    if isinstance(arrivals, dict)
+                    else arrivals.to_dict()
+                ),
+            }
+            if spec.get("deadline") is not None:
+                entry["deadline"] = spec["deadline"]
+            if spec.get("name") is not None:
+                entry["name"] = spec["name"]
+            wire_streams.append(entry)
+        document = {
+            "streams": wire_streams,
+            "horizon": horizon,
+            "cores": cores,
+            "accelerators": accelerators,
+            "policy": policy,
+            "offload_enabled": offload_enabled,
+        }
+        if policy_seed is not None:
+            document["policy_seed"] = policy_seed
+        if deadline is not None:
+            document["timeout"] = deadline
+        return self._request("/workload", document, timeout=timeout)

@@ -58,6 +58,7 @@ from ..core.exceptions import (
     ServiceTimeoutError,
 )
 from ..core.task import DagTask
+from ..generator.arrivals import arrival_to_dict
 from ..ilp.batch import minimum_makespans_many
 from ..ilp.makespan import MakespanMethod, MakespanResult
 from ..parallel import worker_respawn_count
@@ -66,6 +67,12 @@ from ..simulation.batch import resolve_engine, simulate_many
 from ..simulation.calibration import vector_threshold as _calibrated_threshold
 from ..simulation.engine import simulate_makespan
 from ..simulation.platform import Platform
+from ..simulation.workload import (
+    JobStream,
+    WorkloadResult,
+    build_workload,
+    simulate_workload,
+)
 from ..simulation.schedulers import (
     _POLICIES,
     FixedPriorityPolicy,
@@ -89,6 +96,7 @@ __all__ = [
     "simulation_payload",
     "analysis_payload",
     "makespan_payload",
+    "workload_payload",
 ]
 
 
@@ -227,6 +235,31 @@ def makespan_payload(result: MakespanResult) -> dict:
         },
         "engine_stats": {str(key): value for key, value in result.engine_stats.items()},
     }
+
+
+def workload_payload(result: WorkloadResult) -> dict:
+    """Payload of a ``workload`` request: aggregates + per-instance metrics.
+
+    ``per_instance`` rows are in workload (release) order; ``deadline`` is
+    the absolute deadline (``None`` when the stream carries none).
+    """
+    payload = result.summary()
+    deadlines = result.deadlines
+    payload["per_instance"] = [
+        {
+            "stream": int(result.streams[i]),
+            "index": int(result.indices[i]),
+            "release": float(result.releases[i]),
+            "completion": float(result.completions[i]),
+            "response": float(result.completions[i] - result.releases[i]),
+            "deadline": (
+                None if deadlines[i] == float("inf") else float(deadlines[i])
+            ),
+            "missed": bool(result.completions[i] > deadlines[i]),
+        }
+        for i in range(result.count)
+    ]
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -571,6 +604,80 @@ class EvaluationService:
             timeout=timeout,
         )
 
+    def submit_workload(
+        self,
+        streams: list[JobStream],
+        horizon: float,
+        platform: Union[Platform, int] = 2,
+        *,
+        policy: str = "breadth-first",
+        policy_seed: Optional[int] = None,
+        offload_enabled: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Simulate an online multi-instance workload on one shared platform.
+
+        The streams are unrolled over ``[0, horizon)`` and all released
+        instances contend for the platform's core/accelerator pool under the
+        shared-capacity coupled simulator
+        (:func:`repro.simulation.workload.simulate_workload`).  The payload
+        carries the aggregate schedulability metrics plus per-instance
+        response times and deadline flags.
+
+        Arrival processes are declarative and seeded, so the whole request
+        is fingerprintable: identical workloads hit the result cache.
+        """
+        if not streams:
+            raise ValueError("a workload request needs at least one job stream")
+        platform = _as_platform(platform)
+        horizon = float(horizon)
+        if not horizon >= 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        _validate_policy_spec(policy, None)
+        if policy == RandomPolicy.name:
+            if policy_seed is None:
+                raise ValueError(
+                    "random-policy requests require an explicit policy_seed "
+                    "(results are memoised and must be reproducible)"
+                )
+        else:
+            policy_seed = None
+        policy_fp = policy_fingerprint(policy, policy_seed, None)
+        stream_specs = [
+            [
+                task_fingerprint(stream.task),
+                arrival_to_dict(stream.arrivals),
+                stream.relative_deadline(),
+            ]
+            for stream in streams
+        ]
+        fingerprint = request_fingerprint(
+            "workload",
+            stream_specs,
+            horizon,
+            platform_fingerprint(platform),
+            policy_fp,
+            bool(offload_enabled),
+        )
+        return self._submit(
+            kind="workload",
+            fingerprint=fingerprint,
+            group_key=("workload",),
+            task=streams[0].task,
+            params={
+                "streams": list(streams),
+                "horizon": horizon,
+                "platform": platform,
+                "policy": policy,
+                "policy_seed": policy_seed,
+                "offload_enabled": bool(offload_enabled),
+            },
+            timeout=timeout,
+            cost=sum(
+                max(1, len(stream.task.graph.nodes())) for stream in streams
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
@@ -618,7 +725,7 @@ class EvaluationService:
         """
         requests = {
             kind: self._requests.value(kind=kind)
-            for kind in ("simulate", "analyse", "makespan")
+            for kind in ("simulate", "analyse", "makespan", "workload")
         }
         requests["total"] = self._requests.total()
         engine = {
@@ -662,6 +769,7 @@ class EvaluationService:
         task: DagTask,
         params: dict,
         timeout: Optional[float],
+        cost: Optional[int] = None,
     ) -> dict:
         with self._lock:
             if self._closed:
@@ -685,7 +793,9 @@ class EvaluationService:
                     task=task,
                     params=params,
                     deadline=deadline,
-                    cost=max(1, len(task.graph.nodes())),
+                    cost=(
+                        max(1, len(task.graph.nodes())) if cost is None else cost
+                    ),
                 )
                 self._inflight[fingerprint] = request
             else:
@@ -785,6 +895,8 @@ class EvaluationService:
                         self._run_simulation_group(requests)
                     elif kind == "analyse":
                         self._run_analysis_group(requests)
+                    elif kind == "workload":
+                        self._run_workload_group(requests)
                     else:
                         self._run_makespan_group(requests)
                 except BaseException:  # noqa: BLE001 - isolate per request
@@ -806,6 +918,12 @@ class EvaluationService:
                 continue
             params = request.params
             try:
+                if request.kind == "workload":
+                    payload = self._evaluate_workload(params)
+                    self._count_engine_call(1, solo=True)
+                    self._sim_engines.inc(engine="lockstep")
+                    self._finish(request, payload)
+                    continue
                 if request.kind == "simulate":
                     policy = build_policy(
                         params["policy"], params["policy_seed"], params["priorities"]
@@ -936,20 +1054,20 @@ class EvaluationService:
         tasks, platforms, policies, cells = self._assemble_grid(requests)
         if len(tasks) * len(platforms) > self._GRID_WASTE_LIMIT * len(requests):
             # Sparse grid: evaluating it would waste more cells than it
-            # coalesces.  Split by platform -- each sub-grid is dense.
+            # coalesces.  Split by platform and re-assemble each subset --
+            # the per-platform sub-grids are dense by construction, and
+            # reusing _assemble_grid keeps the task-row dedupe (a task
+            # requested under two platforms lands in two subsets but must
+            # never occupy two rows of one) instead of hand-building a
+            # row-per-request mapping that silently assumed uniqueness.
             by_platform: dict[Platform, list[BatchRequest]] = {}
             for request, _, _, _ in cells:
                 by_platform.setdefault(request.params["platform"], []).append(
                     request
                 )
-            for platform, subset in by_platform.items():
-                self._run_simulation_grid(
-                    [request.task for request in subset],
-                    [platform],
-                    policies[:1],
-                    subset,
-                    [(request, row, 0, 0) for row, request in enumerate(subset)],
-                )
+            for subset in by_platform.values():
+                sub = self._assemble_grid(subset)
+                self._run_simulation_grid(sub[0], sub[1], sub[2], subset, sub[3])
             return
         self._run_simulation_grid(tasks, platforms, policies, requests, cells)
 
@@ -962,7 +1080,12 @@ class EvaluationService:
         cells: list[tuple[BatchRequest, int, int, int]],
     ) -> None:
         params = requests[0].params
-        lanes = len(tasks) * len(platforms)
+        # Every (task, platform, policy) cell is one lane of the batched
+        # kernel (the grid executor grew the policy axis in PR 8), so the
+        # dense-vs-lockstep crossover must count the policy axis too: an
+        # ablation-shaped burst (1 task x 1 platform x 7 policies) is a
+        # 7-lane batch, not a 1-lane one.
+        lanes = len(tasks) * len(platforms) * len(policies)
         engine = "auto" if lanes >= self.vector_threshold else "dense"
         grid = simulate_many(
             tasks,
@@ -972,10 +1095,40 @@ class EvaluationService:
             jobs=self._jobs,
             engine=engine,
         )
-        self._count_engine_call(lanes * len(policies))
+        self._count_engine_call(lanes)
         self._sim_engines.inc(engine=resolve_engine(engine))
         for request, row, col, slab in cells:
             self._finish(request, simulation_payload(grid[row, col, slab]))
+
+    def _evaluate_workload(self, params: dict) -> dict:
+        """One workload request end to end (build, couple, fold metrics)."""
+        instances = build_workload(
+            params["streams"], params["horizon"], jobs=self._jobs
+        )
+        policy = build_policy(params["policy"], params["policy_seed"], None)
+        result = simulate_workload(
+            instances,
+            params["platform"],
+            policy,
+            offload_enabled=params["offload_enabled"],
+            backend="auto",
+        )
+        return workload_payload(result)
+
+    def _run_workload_group(self, requests: list[BatchRequest]) -> None:
+        """Workload requests: one coupled simulation per request.
+
+        Each request is already a whole multi-instance batch for the
+        coupled engine -- its instances *are* the lanes -- so there is
+        nothing further to coalesce across requests.
+        """
+        for request in requests:
+            if request.resolved:
+                continue
+            payload = self._evaluate_workload(request.params)
+            self._count_engine_call(max(1, payload["instances"]))
+            self._sim_engines.inc(engine="lockstep")
+            self._finish(request, payload)
 
     def _run_analysis_group(self, requests: list[BatchRequest]) -> None:
         params = requests[0].params

@@ -53,9 +53,11 @@ from ..core.exceptions import (
     ServiceOverloadedError,
     ServiceTimeoutError,
 )
+from ..generator.arrivals import arrival_from_dict
 from ..io.json_io import task_from_dict
 from ..resilience import FAULTS
 from ..simulation.platform import Platform
+from ..simulation.workload import JobStream
 from .facade import EvaluationService
 
 _LOG = logging.getLogger("repro.service.http")
@@ -63,7 +65,15 @@ _LOG = logging.getLogger("repro.service.http")
 #: Paths instrumented under their own metric label; anything else is folded
 #: into one ``"other"`` label so unknown paths cannot blow up cardinality.
 _ENDPOINTS = frozenset(
-    {"/health", "/stats", "/metrics", "/simulate", "/analyse", "/makespan"}
+    {
+        "/health",
+        "/stats",
+        "/metrics",
+        "/simulate",
+        "/analyse",
+        "/makespan",
+        "/workload",
+    }
 )
 
 #: Decoded chunked bodies larger than this are refused (same spirit as the
@@ -286,6 +296,30 @@ class _RequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request document is missing the 'task' object")
         return task_from_dict(document["task"])
 
+    def _streams_of(self, document: dict) -> list:
+        specs = document.get("streams")
+        if not isinstance(specs, list) or not specs:
+            raise ValueError(
+                "request document needs a non-empty 'streams' array"
+            )
+        streams = []
+        for position, spec in enumerate(specs):
+            if not isinstance(spec, dict):
+                raise ValueError(f"streams[{position}] must be a JSON object")
+            if "task" not in spec:
+                raise ValueError(f"streams[{position}] is missing 'task'")
+            if "arrivals" not in spec:
+                raise ValueError(f"streams[{position}] is missing 'arrivals'")
+            streams.append(
+                JobStream(
+                    task=task_from_dict(spec["task"]),
+                    arrivals=arrival_from_dict(spec["arrivals"]),
+                    deadline=spec.get("deadline"),
+                    name=spec.get("name"),
+                )
+            )
+        return streams
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
@@ -334,6 +368,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                         "POST /simulate",
                         "POST /analyse",
                         "POST /makespan",
+                        "POST /workload",
                     ]
                 },
             )
@@ -372,6 +407,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     accelerators=document.get("accelerators", 1),
                     method=document.get("method", "auto"),
                     time_limit=document.get("time_limit"),
+                    timeout=timeout,
+                )
+                self._send_json(200, payload)
+            elif self.path == "/workload":
+                if "horizon" not in document:
+                    raise ValueError(
+                        "request document is missing the 'horizon' number"
+                    )
+                payload = service.submit_workload(
+                    self._streams_of(document),
+                    document["horizon"],
+                    _platform_of(document),
+                    policy=document.get("policy", "breadth-first"),
+                    policy_seed=document.get("policy_seed"),
+                    offload_enabled=document.get("offload_enabled", True),
                     timeout=timeout,
                 )
                 self._send_json(200, payload)

@@ -15,7 +15,9 @@
 * :mod:`repro.simulation.trace` -- execution traces with legality validation;
 * :mod:`repro.simulation.worst_case` -- exhaustive / randomised worst-case
   makespan search over work-conserving schedules;
-* :mod:`repro.simulation.metrics` -- aggregate statistics over trace batches.
+* :mod:`repro.simulation.metrics` -- aggregate statistics over trace batches;
+* :mod:`repro.simulation.workload` -- online multi-instance workloads: job
+  streams with release times contending for one shared platform.
 """
 
 from .batch import simulate_many
@@ -39,6 +41,14 @@ from .vectorized import (
     VectorCell,
     simulate_makespan_lockstep,
     simulate_makespans_vectorized,
+)
+from .workload import (
+    JobInstance,
+    JobStream,
+    WorkloadResult,
+    build_workload,
+    simulate_workload,
+    simulate_workload_reference,
 )
 from .worst_case import WorstCaseResult, exhaustive_worst_case, randomised_worst_case
 
@@ -65,6 +75,12 @@ __all__ = [
     "RandomPolicy",
     "FixedPriorityPolicy",
     "policy_by_name",
+    "JobInstance",
+    "JobStream",
+    "WorkloadResult",
+    "build_workload",
+    "simulate_workload",
+    "simulate_workload_reference",
     "WorstCaseResult",
     "exhaustive_worst_case",
     "randomised_worst_case",
