@@ -24,6 +24,14 @@ cache-hit-ratio and batch-occupancy trajectories from counter deltas; at
 the end the harness cross-checks ``/metrics`` against ``/stats`` and the
 client-side dispatch ledger (zero lost requests, counter reconciliation).
 
+PR 10 adds a **trace-derived stage breakdown**: the server is booted with
+a ring large enough to keep every trace, the harness pulls each span tree
+from ``GET /traces/<id>`` and attributes the observed latency to stages
+(queue wait, batch overhead, engine time, transport write), then
+reconciles the per-endpoint trace totals against the
+``repro_http_request_seconds`` histogram sums -- per-request truth and
+aggregate truth must describe the same workload.
+
 ``--smoke`` runs a short sustained window and *asserts* the committed SLOs
 -- the CI regression gate for every later serving PR.  A full run writes
 the time-series document to ``BENCH_PR7.json``.
@@ -451,6 +459,143 @@ def check_consistency(client: ServiceClient, summary: dict) -> dict:
     }
 
 
+#: Span names counted as engine time in the stage breakdown.
+_ENGINE_SPANS = ("engine.", "oracle.solve", "workload.simulate")
+
+
+def trace_stage_breakdown(client: ServiceClient) -> dict:
+    """Attribute every kept trace's latency to pipeline stages, per endpoint.
+
+    Stages (exclusive, summing to the root ``http.request`` duration):
+
+    * ``cache``   -- fingerprint + cache lookup
+    * ``queue``   -- ``batcher.queue``: enqueue until the flush picked the
+      request up (micro-batching wait)
+    * ``engine``  -- engine/oracle/workload evaluation spans
+    * ``batch``   -- the rest of ``batcher.flush``: batch assembly, result
+      distribution (the cost of batching itself)
+    * ``write``   -- ``http.request`` minus ``facade.submit``: body read +
+      response serialisation/write
+    * ``other``   -- residual inside ``facade.submit`` (dedupe joins,
+      cache-hit returns, bookkeeping)
+
+    Requires the server to keep *every* trace (big ring, ``sample=1.0``):
+    the per-endpoint counts and totals are then reconcilable against the
+    ``repro_http_request_seconds`` histogram, which is asserted by the
+    smoke gate.
+    """
+    # The handler finishes a trace *after* flushing its response (the root
+    # span covers the write), so the last few traces can still be on their
+    # way to the ring when the burst's final response lands -- settle first.
+    deadline = time.monotonic() + 5.0
+    listing = client.traces(limit=1_000_000)
+    while (
+        listing["ring"]["kept"] + listing["ring"]["sampled_out"]
+        < listing["ring"]["started"]
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.02)
+        listing = client.traces(limit=1_000_000)
+    ring = listing["ring"]
+    stages: dict[str, dict] = {}
+    for entry in listing["traces"]:
+        payload = client.trace(entry["trace_id"])
+        spans = payload["spans"]
+        root = next(s for s in spans if s.get("parent_id") is None)
+        endpoint = root["attributes"].get("path", "?")
+        total = payload["duration_ms"]
+        submit = cache = queue = flush = engine = 0.0
+        for span in spans:
+            name = span["name"]
+            duration = span["duration_ms"]
+            if name == "facade.submit":
+                submit += duration
+            elif name == "cache.lookup":
+                cache += duration
+            elif name == "batcher.queue":
+                queue += duration
+            elif name == "batcher.flush":
+                flush += duration
+            elif name.startswith(_ENGINE_SPANS[0]) or name in _ENGINE_SPANS[1:]:
+                engine += duration
+        entry_stages = stages.setdefault(
+            endpoint,
+            {
+                "count": 0,
+                "total_ms": 0.0,
+                "cache_ms": 0.0,
+                "queue_ms": 0.0,
+                "batch_ms": 0.0,
+                "engine_ms": 0.0,
+                "write_ms": 0.0,
+                "other_ms": 0.0,
+            },
+        )
+        entry_stages["count"] += 1
+        entry_stages["total_ms"] += total
+        entry_stages["cache_ms"] += cache
+        entry_stages["queue_ms"] += queue
+        entry_stages["engine_ms"] += engine
+        entry_stages["batch_ms"] += max(flush - engine, 0.0)
+        entry_stages["write_ms"] += max(total - submit, 0.0)
+        entry_stages["other_ms"] += max(
+            submit - cache - queue - flush, 0.0
+        )
+    for entry_stages in stages.values():
+        total = entry_stages["total_ms"]
+        if total > 0:
+            entry_stages["stage_fractions"] = {
+                stage: round(entry_stages[f"{stage}_ms"] / total, 4)
+                for stage in ("cache", "queue", "batch", "engine", "write", "other")
+            }
+    return {"ring": ring, "endpoints": stages}
+
+
+def check_traces(client: ServiceClient, breakdown: dict) -> dict:
+    """Reconcile the trace-derived stage breakdown against the histograms.
+
+    * the ring kept every started trace (nothing sampled out or evicted),
+      so per-request truth is complete;
+    * per endpoint, the number of kept traces equals the HTTP latency
+      histogram count -- one complete trace per accepted request;
+    * per endpoint, the summed trace duration never exceeds the histogram
+      sum (the root span nests inside the instrumented window) and covers
+      most of it (the wrapper adds microseconds, not milliseconds).
+    """
+    ring = breakdown["ring"]
+    metrics = client.metrics()
+    histogram = {
+        series["labels"]["endpoint"]: series
+        for series in metrics["histograms"]["repro_http_request_seconds"][
+            "series"
+        ]
+    }
+    checks: dict[str, bool] = {
+        "ring_complete": (
+            ring["kept"] == ring["started"]
+            and ring["sampled_out"] == 0
+            and ring["evicted"] == 0
+        ),
+        "ring_within_cap": ring["ring_bytes"] <= ring["ring_capacity_bytes"],
+    }
+    for endpoint, stages in sorted(breakdown["endpoints"].items()):
+        series = histogram.get(endpoint)
+        if series is None:
+            checks[f"trace_histogram_present_{endpoint}"] = False
+            continue
+        hist_ms = series["sum"] * 1000.0
+        checks[f"trace_count_{endpoint}"] = stages["count"] == series["count"]
+        # 1 ms slack per request for clock granularity on either side.
+        slack = stages["count"] * 1.0
+        checks[f"trace_time_bounded_{endpoint}"] = (
+            stages["total_ms"] <= hist_ms + slack
+        )
+        checks[f"trace_time_covers_{endpoint}"] = (
+            stages["total_ms"] >= 0.8 * hist_ms - slack
+        )
+    return checks
+
+
 # ----------------------------------------------------------------------
 # Server management / entry point
 # ----------------------------------------------------------------------
@@ -464,6 +609,10 @@ def _boot_server(tmp: Path) -> tuple[subprocess.Popen, int]:
             "--port", "0",
             "--port-file", str(port_file),
             "--flush-interval", "0.02",
+            # Keep every trace: the stage breakdown reconciles per-request
+            # truth against the histograms, so nothing may be sampled out
+            # or evicted during the window.
+            "--trace-ring-bytes", str(256 * 1024 * 1024),
         ],
         env=env,
         cwd=_REPO_ROOT,
@@ -540,6 +689,8 @@ def main(argv: list[str] | None = None) -> int:
         summary = summarise(result, offered)
         consistency = check_consistency(client, summary)
         checks = evaluate_slos(summary, consistency)
+        breakdown = trace_stage_breakdown(client)
+        checks.update(check_traces(client, breakdown))
 
         for endpoint, entry in sorted(summary["endpoints"].items()):
             print(
@@ -560,6 +711,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"-> last {hit_points[-1]:.2f} over {len(hit_points)} samples"
             )
         print(f"metrics/stats reconciliation: {consistency['checks']}")
+        for endpoint, stages in sorted(breakdown["endpoints"].items()):
+            fractions = stages.get("stage_fractions", {})
+            print(
+                f"trace stages {endpoint} ({stages['count']} traces): "
+                + ", ".join(
+                    f"{stage} {fraction * 100:.1f}%"
+                    for stage, fraction in fractions.items()
+                )
+            )
 
         document = {
             "benchmark": "service_sustained_load",
@@ -586,6 +746,7 @@ def main(argv: list[str] | None = None) -> int:
             "latency_windows": summary["latency_windows"],
             "service_trajectory": result.trajectory,
             "consistency": consistency,
+            "trace_stages": breakdown,
             "acceptance": checks,
         }
         if not args.smoke:

@@ -25,11 +25,16 @@ Installed as ``repro-rta`` (see ``pyproject.toml``) and also runnable as
 ``serve``
     Run the long-lived HTTP evaluation service (micro-batching queue +
     fingerprint-keyed result cache over the batched engines).
+``trace``
+    Inspect a running service's request traces: list the tail-sampled
+    ring, or pretty-print one trace's span tree with per-stage
+    percentages (``--chrome`` exports Perfetto-loadable JSON instead).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -56,7 +61,9 @@ from .ilp.batch import minimum_makespans_many
 from .ilp.makespan import MakespanMethod
 from .io.dot import load_dot, save_dot
 from .io.json_io import load_task, save_task
+from .service.client import ServiceClient
 from .service.http import add_serve_arguments, serve_from_args
+from .service.tracing import render_trace_tree
 from .simulation.engine import simulate, simulate_makespan
 from .simulation.platform import Platform
 from .simulation.schedulers import policy_by_name
@@ -240,6 +247,56 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.exceptions import ServiceError
+
+    client = ServiceClient(
+        host=args.host, port=args.port, timeout=args.timeout, retries=0
+    )
+    try:
+        if args.trace_id is None:
+            document = client.traces(
+                limit=args.limit, slow=args.slow, errors=args.errors
+            )
+            ring = document["ring"]
+            state = "on" if ring["enabled"] else "OFF"
+            print(
+                f"trace ring (tracing {state}): {ring['ring_traces']} traces, "
+                f"{ring['ring_bytes']}/{ring['ring_capacity_bytes']} bytes; "
+                f"{ring['started']} started, {ring['kept']} kept, "
+                f"{ring['sampled_out']} sampled out, {ring['evicted']} evicted"
+            )
+            if not document["traces"]:
+                print("no traces kept (yet)")
+                return 0
+            for entry in document["traces"]:
+                flags = ""
+                if entry["error"]:
+                    flags += "  [ERROR]"
+                if entry["degraded"]:
+                    flags += "  [DEGRADED]"
+                print(
+                    f"  {entry['trace_id']}  {entry['name']:<14} "
+                    f"{entry['duration_ms']:9.2f} ms  "
+                    f"{entry['spans']} spans{flags}"
+                )
+            return 0
+        if args.chrome:
+            payload = client.trace(args.trace_id, format="chrome")
+            output = Path(args.chrome)
+            output.write_text(json.dumps(payload), encoding="utf-8")
+            print(
+                f"Chrome trace written to {output} "
+                f"(load it at https://ui.perfetto.dev)"
+            )
+            return 0
+        print(render_trace_tree(client.trace(args.trace_id)))
+        return 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -339,6 +396,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_serve_arguments(serve_cmd)
     serve_cmd.set_defaults(func=serve_from_args)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="inspect a running service's request traces"
+    )
+    trace_cmd.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace to pretty-print (omit to list the ring)",
+    )
+    trace_cmd.add_argument("--host", default="127.0.0.1", help="service host")
+    trace_cmd.add_argument("--port", type=int, default=8181, help="service port")
+    trace_cmd.add_argument(
+        "--timeout", type=float, default=10.0, help="socket timeout in seconds"
+    )
+    trace_cmd.add_argument(
+        "--limit", type=int, default=20, help="max traces to list"
+    )
+    trace_cmd.add_argument(
+        "--slow",
+        action="store_true",
+        help="list only traces at/above the slow-percentile threshold",
+    )
+    trace_cmd.add_argument(
+        "--errors",
+        action="store_true",
+        help="list only error/degraded traces",
+    )
+    trace_cmd.add_argument(
+        "--chrome",
+        default=None,
+        metavar="FILE",
+        help="write the trace as Chrome trace-event JSON (for Perfetto) "
+        "instead of printing the tree",
+    )
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     return parser
 

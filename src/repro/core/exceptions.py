@@ -120,9 +120,15 @@ class ServiceError(ReproError):
     subclasses whose failure is transient by construction (overload, drain,
     deadline expiry) -- every service endpoint is idempotent (results are
     keyed on content fingerprints), so retrying those is always safe.
+
+    ``trace_id`` names the request trace the failure belongs to, when one
+    exists: the HTTP client copies it off the error envelope so a caller
+    can pull the failing request's span tree from ``GET /traces/<id>``.
+    It stays ``None`` for errors raised outside a traced request.
     """
 
     retryable = False
+    trace_id: str | None = None
 
 
 class ServiceClosedError(ServiceError):

@@ -8,7 +8,10 @@ shedding, a circuit-broken degraded oracle mode and a drain that resolves
 every accepted request.  PR 7 made it observable: a dependency-free
 metrics registry threaded through every layer and exposed on
 ``GET /metrics`` (Prometheus text or JSON), with a sustained-load SLO
-harness gating regressions in CI.  See ``docs/service.md`` for the
+harness gating regressions in CI.  PR 10 added request tracing: span
+trees across facade, batcher and engines with kernel step profiles,
+tail-sampled into a byte-capped ring served on ``GET /traces``, plus
+trace-carrying structured JSON logs.  See ``docs/service.md`` for the
 architecture, capacity-tuning notes, the metric catalogue and the
 failure-mode runbook.
 
@@ -26,6 +29,9 @@ Modules
     Deadline/size-triggered micro-batching request queue.
 :mod:`~repro.service.facade`
     :class:`EvaluationService` -- the synchronous in-process API.
+:mod:`~repro.service.tracing`
+    Request traces (span trees, tail-sampled ring, Chrome export) and
+    the trace-carrying JSON log formatter.
 :mod:`~repro.service.http`
     Stdlib HTTP/JSON transport (``repro serve`` / ``repro-serve``).
 :mod:`~repro.service.client`
@@ -57,6 +63,15 @@ from .fingerprint import (
 )
 from .http import ServiceHTTPServer, start_server
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import (
+    TRACE_HEADER,
+    JsonLogFormatter,
+    Tracer,
+    chrome_trace,
+    configure_logging,
+    current_trace_id,
+    new_trace_id,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -83,4 +98,11 @@ __all__ = [
     "platform_fingerprint",
     "policy_fingerprint",
     "request_fingerprint",
+    "Tracer",
+    "TRACE_HEADER",
+    "JsonLogFormatter",
+    "chrome_trace",
+    "configure_logging",
+    "current_trace_id",
+    "new_trace_id",
 ]

@@ -95,6 +95,11 @@ class BatchRequest:
     enqueued_at:
         ``time.monotonic()`` stamp set at admission; the flush observes
         ``now - enqueued_at`` as the request's queue-wait time.
+    trace:
+        Optional trace context carried across the thread hop: the
+        submitter's :class:`~repro.service.tracing.Trace` plus its open
+        ``batcher.queue`` span, which the flush (on the batcher thread)
+        finishes and links its shared ``batcher.flush`` span under.
     """
 
     kind: str
@@ -105,6 +110,7 @@ class BatchRequest:
     deadline: Optional[Deadline] = None
     cost: int = 1
     enqueued_at: float = 0.0
+    trace: object = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     result: object = None
     error: Optional[BaseException] = None

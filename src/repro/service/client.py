@@ -20,6 +20,12 @@ Typical use::
     client.health()
     makespan = client.simulate(task, cores=4)
     bounds = client.analyse(task, cores=[2, 4, 8], timeout=10.0)
+
+Every POST carries a client-generated ``X-Repro-Trace-Id`` so the server's
+request trace is correlatable from this side: the id of the last completed
+call is kept in :attr:`ServiceClient.last_trace_id`, failures carry it as
+``ServiceError.trace_id``, and :meth:`ServiceClient.trace` pulls the span
+tree back down.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from ..core.exceptions import (
 from ..core.task import DagTask
 from ..io.json_io import task_to_dict
 from ..resilience import retry_call
+from .tracing import TRACE_HEADER, new_trace_id
 
 __all__ = ["ServiceClient"]
 
@@ -53,6 +60,7 @@ def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceErr
     message: Optional[str] = None
     retryable: Optional[bool] = None
     retry_after: Optional[float] = None
+    trace_id: Optional[str] = None
     try:
         envelope = json.loads(error.read().decode("utf-8")).get("error")
     except Exception:  # noqa: BLE001 - no JSON body on the error
@@ -61,8 +69,11 @@ def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceErr
         message = envelope.get("message")
         retryable = envelope.get("retryable")
         retry_after = envelope.get("retry_after")
+        trace_id = envelope.get("trace_id")
     elif isinstance(envelope, str):
         message = envelope
+    if trace_id is None and error.headers is not None:
+        trace_id = error.headers.get(TRACE_HEADER)
     if retry_after is None:
         header = error.headers.get("Retry-After") if error.headers else None
         if header is not None:
@@ -72,9 +83,11 @@ def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceErr
                 retry_after = None
     message = message or f"service returned HTTP {error.code} for {path}"
     if error.code == 429:
-        return ServiceOverloadedError(message, retry_after=retry_after)
-    if error.code == 503:
-        mapped: ServiceError = ServiceClosedError(message)
+        mapped: ServiceError = ServiceOverloadedError(
+            message, retry_after=retry_after
+        )
+    elif error.code == 503:
+        mapped = ServiceClosedError(message)
     elif error.code == 504:
         mapped = ServiceTimeoutError(message)
     else:
@@ -83,6 +96,8 @@ def _error_from_response(error: urllib.error.HTTPError, path: str) -> ServiceErr
         mapped.retryable = bool(retryable)  # instance attr shadows the class hint
     if retry_after is not None:
         mapped.retry_after = retry_after  # type: ignore[attr-defined]
+    if trace_id:
+        mapped.trace_id = str(trace_id)
     return mapped
 
 
@@ -182,26 +197,43 @@ class ServiceClient:
         self.backoff = backoff
         self.backoff_max = backoff_max
         self.retry_seed = retry_seed
+        #: Trace id echoed by the server on the most recent completed
+        #: request (``None`` before the first call or when the server runs
+        #: with tracing disabled).  Feed it to :meth:`trace` to pull the
+        #: span tree of the call that just returned.
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _request_once(
-        self, path: str, document: Optional[dict], timeout: float
+        self,
+        path: str,
+        document: Optional[dict],
+        timeout: float,
+        trace_id: Optional[str] = None,
     ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if document is not None:
             data = json.dumps(document).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:
+                echoed = response.headers.get(TRACE_HEADER)
+                if document is not None:
+                    self.last_trace_id = echoed
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as error:
-            raise _error_from_response(error, path) from error
+            mapped = _error_from_response(error, path)
+            if document is not None:
+                self.last_trace_id = mapped.trace_id
+            raise mapped from error
         except (
             urllib.error.URLError,  # must precede OSError (it is one)
             http.client.HTTPException,
@@ -216,8 +248,12 @@ class ServiceClient:
         timeout: Optional[float] = None,
     ) -> dict:
         effective = self.timeout if timeout is None else timeout
+        # One trace id for the whole logical request: retries reuse it, so
+        # server-side all attempts of one call share a correlatable id
+        # (the ring keeps the last attempt -- id reuse is last-write-wins).
+        trace_id = new_trace_id() if document is not None else None
         return retry_call(
-            lambda: self._request_once(path, document, effective),
+            lambda: self._request_once(path, document, effective, trace_id),
             attempts=self.retries + 1,
             base_delay=self.backoff,
             max_delay=self.backoff_max,
@@ -299,6 +335,51 @@ class ServiceClient:
             OSError,
         ) as error:
             raise _transport_error(self.base_url, error) from error
+
+    def traces(
+        self,
+        *,
+        limit: int = 50,
+        slow: bool = False,
+        errors: bool = False,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Recent request traces kept by the server (``GET /traces``).
+
+        Returns ``{"traces": [summaries...], "ring": ring-stats}``,
+        newest first.  ``slow=True`` keeps only traces at or above the
+        server's rolling slow-percentile threshold; ``errors=True`` keeps
+        only error/degraded traces.
+        """
+        query = [f"limit={int(limit)}"]
+        if slow:
+            query.append("slow=1")
+        if errors:
+            query.append("errors=1")
+        return self._request("/traces?" + "&".join(query), timeout=timeout)
+
+    def trace(
+        self,
+        trace_id: str,
+        *,
+        format: str = "tree",  # noqa: A002 - mirrors the wire concept
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """One trace's span tree (``GET /traces/<id>``).
+
+        ``format="chrome"`` returns Chrome trace-event JSON instead --
+        save it to a file and load it in Perfetto (ui.perfetto.dev).
+        Raises a :class:`ServiceError` with code ``trace-not-found`` when
+        the id was sampled out of or evicted from the ring.
+        """
+        if format not in ("tree", "chrome"):
+            raise ValueError(
+                f"format must be 'tree' or 'chrome', got {format!r}"
+            )
+        path = f"/traces/{trace_id}"
+        if format == "chrome":
+            path += "?format=chrome"
+        return self._request(path, timeout=timeout)
 
     def simulate(
         self,

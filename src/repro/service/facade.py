@@ -66,6 +66,7 @@ from ..resilience import FAULTS, CircuitBreaker, Deadline, fault_point
 from ..simulation.batch import resolve_engine, simulate_many
 from ..simulation.calibration import vector_threshold as _calibrated_threshold
 from ..simulation.engine import simulate_makespan
+from ..simulation.kernel_stats import collect_kernel_stats
 from ..simulation.platform import Platform
 from ..simulation.workload import (
     JobStream,
@@ -82,7 +83,8 @@ from ..simulation.schedulers import (
 )
 from .batching import BatchRequest, MicroBatcher
 from .cache import ResultCache
-from .metrics import MetricsRegistry
+from .metrics import OCCUPANCY_BUCKETS, MetricsRegistry
+from .tracing import NULL_SPAN, RequestTraceContext, Tracer, current_trace
 from .fingerprint import (
     platform_fingerprint,
     policy_fingerprint,
@@ -314,6 +316,12 @@ class EvaluationService:
         service's own counters *are* metrics-registry counters -- ``stats()``
         reads the exact objects ``GET /metrics`` renders, so the two
         endpoints reconcile by construction, not by double bookkeeping.
+    tracing, trace_sample, trace_ring_bytes:
+        Per-request tracing (:mod:`repro.service.tracing`): ``tracing=False``
+        turns every span hook into a no-op; ``trace_sample`` is the
+        tail-sampling keep probability for normal traces (errors, degraded
+        and slow traces are always kept); ``trace_ring_bytes`` caps the
+        finished-trace ring served on ``GET /traces``.
 
     Thread-safe: requests may be submitted from any number of threads;
     :meth:`close` drains the queue before returning -- every accepted
@@ -337,9 +345,22 @@ class EvaluationService:
         breaker_reset: float = 30.0,
         metrics: Optional[MetricsRegistry] = None,
         vector_threshold: Optional[int] = None,
+        tracing: bool = True,
+        trace_sample: float = 1.0,
+        trace_ring_bytes: int = 4 << 20,
     ) -> None:
         self.cache = ResultCache(max_bytes=cache_bytes)
         self._jobs = jobs
+        # Per-request tracing substrate (span trees + tail-sampled ring).
+        # Spans only materialise inside an active trace (the HTTP layer
+        # starts one per request), so direct API callers pay one
+        # context-var read per hook -- benchmarked like the disarmed
+        # fault points in benchmarks/bench_tracing.py.
+        self.tracer = Tracer(
+            enabled=tracing,
+            sample=trace_sample,
+            ring_bytes=trace_ring_bytes,
+        )
         # Lane count from which simulation grids run on the batched
         # lockstep kernel instead of the per-cell dense engine.  ``None``
         # consults the measured calibration table
@@ -401,6 +422,28 @@ class EvaluationService:
         self._degraded = self.metrics.counter(
             "repro_service_degraded_total",
             "Requests answered with a degraded (bound-sandwich) payload.",
+        )
+        # Kernel step profiles: the same per-batch counters the engine
+        # spans carry (steps / events / lane occupancy), aggregated --
+        # /metrics and /traces reconcile because both read the identical
+        # KernelBatchStats records.
+        self._kernel_steps = self.metrics.counter(
+            "repro_kernel_steps_total",
+            "Kernel step-loop iterations by engine (lockstep: synchronised "
+            "steps; compiled: retire windows; workload: event batches).",
+            labels=("engine",),
+        )
+        self._kernel_events = self.metrics.counter(
+            "repro_kernel_events_total",
+            "Node retirements processed by kernel batches, by engine.",
+            labels=("engine",),
+        )
+        self._kernel_occupancy = self.metrics.histogram(
+            "repro_kernel_lane_occupancy",
+            "Mean lane occupancy of each kernel batch "
+            "(lane-steps / (steps * lanes), in [0, 1]).",
+            buckets=OCCUPANCY_BUCKETS,
+            labels=("engine",),
         )
         self._batcher = MicroBatcher(
             self._execute_batch,
@@ -472,6 +515,30 @@ class EvaluationService:
             "repro_service_degraded_ratio",
             "Lifetime degraded answers / requests.",
             callback=lambda: ratio_of(self._degraded),
+        )
+
+        def trace_stat(key: str):
+            return lambda: self.tracer.ring_stats()[key]
+
+        self.metrics.gauge(
+            "repro_trace_ring_traces",
+            "Traces currently held by the trace ring buffer.",
+            callback=trace_stat("ring_traces"),
+        )
+        self.metrics.gauge(
+            "repro_trace_ring_bytes",
+            "Serialized bytes currently held by the trace ring buffer.",
+            callback=trace_stat("ring_bytes"),
+        )
+        self.metrics.gauge(
+            "repro_traces_started",
+            "Traces started since boot.",
+            callback=trace_stat("started"),
+        )
+        self.metrics.gauge(
+            "repro_traces_kept",
+            "Finished traces admitted to the ring by tail sampling.",
+            callback=trace_stat("kept"),
         )
 
     def _inflight_size(self) -> int:
@@ -753,6 +820,7 @@ class EvaluationService:
             "batching": self._batcher.stats(),
             "engine": engine,
             "resilience": resilience,
+            "tracing": self.tracer.ring_stats(),
             "jobs": self._jobs,
             "closed": self.closed,
             "lifecycle": self.lifecycle(),
@@ -771,49 +839,76 @@ class EvaluationService:
         timeout: Optional[float],
         cost: Optional[int] = None,
     ) -> dict:
-        with self._lock:
-            if self._closed:
-                raise ServiceClosedError(
-                    "evaluation service is closed; no further requests accepted"
-                )
-        self._requests.inc(kind=kind)
-        if timeout is None:
-            timeout = self._default_timeout
-        deadline = Deadline.after(timeout)
-        cached = self.cache.get(fingerprint)
-        if cached is not None:
-            return _copy_payload(cached)
-        with self._lock:
-            leader = self._inflight.get(fingerprint)
-            if leader is None:
-                request = BatchRequest(
-                    kind=kind,
-                    fingerprint=fingerprint,
-                    group_key=group_key,
-                    task=task,
-                    params=params,
-                    deadline=deadline,
-                    cost=(
-                        max(1, len(task.graph.nodes())) if cost is None else cost
-                    ),
-                )
-                self._inflight[fingerprint] = request
-            else:
-                self._inflight_joins.inc()
-        if leader is not None:
-            return _copy_payload(self._wait(leader, deadline))
-        try:
-            self._batcher.submit(request)
-        except BaseException as error:
-            if isinstance(error, ServiceOverloadedError):
-                self._shed.inc()
-            # Fail the request before retiring it: concurrent duplicates may
-            # already be parked on its event and would otherwise wait forever.
-            request.fail(error)
+        with self.tracer.span(
+            "facade.submit", attributes={"kind": kind}
+        ) as submit_span:
             with self._lock:
-                self._inflight.pop(fingerprint, None)
-            raise
-        return _copy_payload(self._wait(request, deadline))
+                if self._closed:
+                    raise ServiceClosedError(
+                        "evaluation service is closed; no further requests "
+                        "accepted"
+                    )
+            self._requests.inc(kind=kind)
+            if timeout is None:
+                timeout = self._default_timeout
+            deadline = Deadline.after(timeout)
+            with self.tracer.span("cache.lookup") as cache_span:
+                cached = self.cache.get(fingerprint)
+                cache_span.set("hit", cached is not None)
+            if cached is not None:
+                submit_span.set("cache_hit", True)
+                return _copy_payload(cached)
+            with self._lock:
+                leader = self._inflight.get(fingerprint)
+                if leader is None:
+                    request = BatchRequest(
+                        kind=kind,
+                        fingerprint=fingerprint,
+                        group_key=group_key,
+                        task=task,
+                        params=params,
+                        deadline=deadline,
+                        cost=(
+                            max(1, len(task.graph.nodes()))
+                            if cost is None
+                            else cost
+                        ),
+                    )
+                    self._inflight[fingerprint] = request
+                else:
+                    self._inflight_joins.inc()
+            if leader is not None:
+                # Dedupe join: this trace did no engine work of its own --
+                # it waited on the leader's, so link the leader's trace.
+                submit_span.set("inflight_join", True)
+                trace = current_trace()
+                leader_ctx = leader.trace
+                if trace is not None and isinstance(
+                    leader_ctx, RequestTraceContext
+                ):
+                    trace.link_trace(
+                        leader_ctx.trace.trace_id, kind="dedupe-leader"
+                    )
+                return _copy_payload(self._wait(leader, deadline))
+            queue_span = self.tracer.start_span("batcher.queue")
+            if queue_span:
+                request.trace = RequestTraceContext(current_trace(), queue_span)
+            try:
+                self._batcher.submit(request)
+            except BaseException as error:
+                if isinstance(error, ServiceOverloadedError):
+                    self._shed.inc()
+                    queue_span.set("shed", True)
+                queue_span.set_error()
+                queue_span.finish()
+                # Fail the request before retiring it: concurrent duplicates
+                # may already be parked on its event and would otherwise
+                # wait forever.
+                request.fail(error)
+                with self._lock:
+                    self._inflight.pop(fingerprint, None)
+                raise
+            return _copy_payload(self._wait(request, deadline))
 
     def _wait(self, request: BatchRequest, deadline: Deadline) -> object:
         """Await ``request`` under the caller's deadline, counting timeouts.
@@ -839,6 +934,8 @@ class EvaluationService:
         """
         if isinstance(payload, dict) and payload.get("degraded"):
             self._degraded.inc()
+            if isinstance(request.trace, RequestTraceContext):
+                request.trace.trace.degraded = True
         else:
             self.cache.put(request.fingerprint, payload)
         request.resolve(payload)
@@ -860,6 +957,24 @@ class EvaluationService:
         # forever).  The batcher's own defensive net cannot do that -- it
         # has no access to the in-flight table -- so nothing may escape
         # this method with requests unresolved.
+        #
+        # Fan-in tracing: one shared ``batcher.flush`` span serves the whole
+        # coalesced batch.  Each traced member's queue span ends here and
+        # the flush span (with the engine spans attached beneath it) is
+        # linked into every member's trace -- shared work is attributed
+        # once, identically, to everyone who waited on it.
+        members = [
+            request.trace
+            for request in batch
+            if isinstance(request.trace, RequestTraceContext)
+        ]
+        flush_span = NULL_SPAN
+        if members:
+            flush_span = self.tracer.new_shared_span("batcher.flush")
+            flush_span.set("batch_size", len(batch))
+            flush_span.set("traced_members", len(members))
+            for context in members:
+                context.join_flush(flush_span)
         try:
             fault_point("service.batch")
             # Requests that raced with an insertion of the same fingerprint
@@ -892,26 +1007,31 @@ class EvaluationService:
             for (kind, _), requests in groups.items():
                 try:
                     if kind == "simulate":
-                        self._run_simulation_group(requests)
+                        self._run_simulation_group(requests, flush_span)
                     elif kind == "analyse":
-                        self._run_analysis_group(requests)
+                        self._run_analysis_group(requests, flush_span)
                     elif kind == "workload":
-                        self._run_workload_group(requests)
+                        self._run_workload_group(requests, flush_span)
                     else:
-                        self._run_makespan_group(requests)
+                        self._run_makespan_group(requests, flush_span)
                 except BaseException:  # noqa: BLE001 - isolate per request
                     # One bad request (or an infeasible *unrequested* grid
                     # cell) must not fail its coalesced group-mates: fall
                     # back to sequential per-request evaluation -- exactly
                     # the semantics the batch is contracted to reproduce --
                     # so only genuinely failing requests error.
-                    self._run_group_solo(requests)
+                    self._run_group_solo(requests, flush_span)
         except BaseException as error:  # noqa: BLE001 - fan out whole batch
+            flush_span.set_error()
             for request in batch:
                 if not request.resolved:
                     self._abort(request, error)
+        finally:
+            flush_span.finish()
 
-    def _run_group_solo(self, requests: list[BatchRequest]) -> None:
+    def _run_group_solo(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         """Serve each unresolved request of a failed group individually."""
         for request in requests:
             if request.resolved:
@@ -919,43 +1039,60 @@ class EvaluationService:
             params = request.params
             try:
                 if request.kind == "workload":
-                    payload = self._evaluate_workload(params)
+                    with self.tracer.shared_child(
+                        flush_span,
+                        "workload.simulate",
+                        attributes={"solo": True},
+                    ) as engine_span:
+                        with collect_kernel_stats() as kstats:
+                            payload = self._evaluate_workload(params)
+                        self._record_kernel_stats(kstats, engine_span)
                     self._count_engine_call(1, solo=True)
                     self._sim_engines.inc(engine="lockstep")
                     self._finish(request, payload)
                     continue
-                if request.kind == "simulate":
-                    policy = build_policy(
-                        params["policy"], params["policy_seed"], params["priorities"]
-                    )
-                    payload = simulation_payload(
-                        simulate_makespan(
-                            request.task,
-                            params["platform"],
-                            policy,
-                            params["offload_enabled"],
+                span_name = (
+                    "oracle.solve"
+                    if request.kind == "makespan"
+                    else f"engine.{request.kind}"
+                )
+                with self.tracer.shared_child(
+                    flush_span, span_name, attributes={"solo": True}
+                ):
+                    if request.kind == "simulate":
+                        policy = build_policy(
+                            params["policy"],
+                            params["policy_seed"],
+                            params["priorities"],
                         )
-                    )
-                elif request.kind == "analyse":
-                    payload = analysis_payload(
-                        analyse_many(
-                            [request.task],
-                            cores=params["cores"],
-                            include_naive=params["include_naive"],
-                        )[0]
-                    )
-                else:
-                    payload = makespan_payload(
-                        minimum_makespans_many(
-                            [request.task],
-                            cores=params["cores"],
-                            accelerators=params["accelerators"],
-                            method=MakespanMethod(params["method"]),
-                            time_limit=params["time_limit"],
-                            budget=self._oracle_budget,
-                            breaker=self._oracle_breaker,
-                        )[0]
-                    )
+                        payload = simulation_payload(
+                            simulate_makespan(
+                                request.task,
+                                params["platform"],
+                                policy,
+                                params["offload_enabled"],
+                            )
+                        )
+                    elif request.kind == "analyse":
+                        payload = analysis_payload(
+                            analyse_many(
+                                [request.task],
+                                cores=params["cores"],
+                                include_naive=params["include_naive"],
+                            )[0]
+                        )
+                    else:
+                        payload = makespan_payload(
+                            minimum_makespans_many(
+                                [request.task],
+                                cores=params["cores"],
+                                accelerators=params["accelerators"],
+                                method=MakespanMethod(params["method"]),
+                                time_limit=params["time_limit"],
+                                budget=self._oracle_budget,
+                                breaker=self._oracle_breaker,
+                            )[0]
+                        )
                 self._count_engine_call(1, solo=True)
                 self._finish(request, payload)
             except BaseException as error:  # noqa: BLE001 - this request only
@@ -967,28 +1104,55 @@ class EvaluationService:
         if solo:
             self._solo_evaluations.inc()
 
+    def _record_kernel_stats(self, collector, span) -> None:
+        """Feed one engine call's kernel batches to /metrics and its span.
+
+        Both views read the identical :class:`KernelBatchStats` records, so
+        the ``repro_kernel_*`` rows and the engine-span ``kernel``
+        attributes reconcile by construction.
+        """
+        for batch_stats in collector.batches:
+            self._kernel_steps.inc(batch_stats.steps, engine=batch_stats.engine)
+            self._kernel_events.inc(
+                batch_stats.events, engine=batch_stats.engine
+            )
+            self._kernel_occupancy.observe(
+                batch_stats.occupancy, engine=batch_stats.engine
+            )
+        merged = collector.merged()
+        if merged is not None and span:
+            span.set("kernel", merged)
+
     #: A grid call may evaluate at most this factor more cells than were
     #: actually requested before the group falls back to per-policy /
     #: per-platform sub-grids (which are dense by construction).
     _GRID_WASTE_LIMIT = 2.0
 
-    def _run_simulation_group(self, requests: list[BatchRequest]) -> None:
+    def _run_simulation_group(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         params = requests[0].params
         offload_enabled = params["offload_enabled"]
         if params["solo"]:
             # Stochastic policies: fresh instance per request, one cell per
             # evaluation -- batch composition must not influence the draws.
-            for request in requests:
-                spec = request.params
-                policy = build_policy(
-                    spec["policy"], spec["policy_seed"], spec["priorities"]
-                )
-                value = simulate_makespan(
-                    request.task, spec["platform"], policy, offload_enabled
-                )
-                self._count_engine_call(1, solo=True)
-                self._sim_engines.inc(engine="dense")
-                self._finish(request, simulation_payload(value))
+            with self.tracer.shared_child(
+                flush_span,
+                "engine.simulate",
+                attributes={"engine": "dense", "solo": True,
+                            "lanes": len(requests)},
+            ):
+                for request in requests:
+                    spec = request.params
+                    policy = build_policy(
+                        spec["policy"], spec["policy_seed"], spec["priorities"]
+                    )
+                    value = simulate_makespan(
+                        request.task, spec["platform"], policy, offload_enabled
+                    )
+                    self._count_engine_call(1, solo=True)
+                    self._sim_engines.inc(engine="dense")
+                    self._finish(request, simulation_payload(value))
             return
         # Try the full task x platform x policy grid of the flush first:
         # an ablation-shaped burst (every task at every host size under
@@ -1006,11 +1170,11 @@ class EvaluationService:
             total = len(tasks) * len(platforms) * len(policies)
             if total <= self._GRID_WASTE_LIMIT * len(requests):
                 self._run_simulation_grid(
-                    tasks, platforms, policies, requests, cells
+                    tasks, platforms, policies, requests, cells, flush_span
                 )
                 return
         for subset in by_policy.values():
-            self._run_policy_group(subset)
+            self._run_policy_group(subset, flush_span)
 
     @staticmethod
     def _assemble_grid(
@@ -1049,7 +1213,9 @@ class EvaluationService:
             cells.append((request, row, col, slab))
         return tasks, platforms, policies, cells
 
-    def _run_policy_group(self, requests: list[BatchRequest]) -> None:
+    def _run_policy_group(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         """One policy's requests: task x platform grid, waste-checked."""
         tasks, platforms, policies, cells = self._assemble_grid(requests)
         if len(tasks) * len(platforms) > self._GRID_WASTE_LIMIT * len(requests):
@@ -1067,9 +1233,13 @@ class EvaluationService:
                 )
             for subset in by_platform.values():
                 sub = self._assemble_grid(subset)
-                self._run_simulation_grid(sub[0], sub[1], sub[2], subset, sub[3])
+                self._run_simulation_grid(
+                    sub[0], sub[1], sub[2], subset, sub[3], flush_span
+                )
             return
-        self._run_simulation_grid(tasks, platforms, policies, requests, cells)
+        self._run_simulation_grid(
+            tasks, platforms, policies, requests, cells, flush_span
+        )
 
     def _run_simulation_grid(
         self,
@@ -1078,6 +1248,7 @@ class EvaluationService:
         policies: list[SchedulingPolicy],
         requests: list[BatchRequest],
         cells: list[tuple[BatchRequest, int, int, int]],
+        flush_span=NULL_SPAN,
     ) -> None:
         params = requests[0].params
         # Every (task, platform, policy) cell is one lane of the batched
@@ -1087,14 +1258,22 @@ class EvaluationService:
         # 7-lane batch, not a 1-lane one.
         lanes = len(tasks) * len(platforms) * len(policies)
         engine = "auto" if lanes >= self.vector_threshold else "dense"
-        grid = simulate_many(
-            tasks,
-            platforms,
-            policies,
-            offload_enabled=params["offload_enabled"],
-            jobs=self._jobs,
-            engine=engine,
-        )
+        with self.tracer.shared_child(
+            flush_span, "engine.simulate"
+        ) as engine_span:
+            with collect_kernel_stats() as kstats:
+                grid = simulate_many(
+                    tasks,
+                    platforms,
+                    policies,
+                    offload_enabled=params["offload_enabled"],
+                    jobs=self._jobs,
+                    engine=engine,
+                )
+            engine_span.set("engine", resolve_engine(engine))
+            engine_span.set("lanes", lanes)
+            engine_span.set("requests", len(requests))
+            self._record_kernel_stats(kstats, engine_span)
         self._count_engine_call(lanes)
         self._sim_engines.inc(engine=resolve_engine(engine))
         for request, row, col, slab in cells:
@@ -1115,7 +1294,9 @@ class EvaluationService:
         )
         return workload_payload(result)
 
-    def _run_workload_group(self, requests: list[BatchRequest]) -> None:
+    def _run_workload_group(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         """Workload requests: one coupled simulation per request.
 
         Each request is already a whole multi-instance batch for the
@@ -1125,35 +1306,62 @@ class EvaluationService:
         for request in requests:
             if request.resolved:
                 continue
-            payload = self._evaluate_workload(request.params)
+            with self.tracer.shared_child(
+                flush_span, "workload.simulate"
+            ) as engine_span:
+                with collect_kernel_stats() as kstats:
+                    payload = self._evaluate_workload(request.params)
+                engine_span.set("engine", "lockstep")
+                engine_span.set("instances", payload["instances"])
+                self._record_kernel_stats(kstats, engine_span)
             self._count_engine_call(max(1, payload["instances"]))
             self._sim_engines.inc(engine="lockstep")
             self._finish(request, payload)
 
-    def _run_analysis_group(self, requests: list[BatchRequest]) -> None:
+    def _run_analysis_group(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         params = requests[0].params
-        analyses = analyse_many(
-            [request.task for request in requests],
-            cores=params["cores"],
-            include_naive=params["include_naive"],
-            jobs=self._jobs,
-        )
+        with self.tracer.shared_child(
+            flush_span,
+            "engine.analyse",
+            attributes={"requests": len(requests)},
+        ):
+            analyses = analyse_many(
+                [request.task for request in requests],
+                cores=params["cores"],
+                include_naive=params["include_naive"],
+                jobs=self._jobs,
+            )
         self._count_engine_call(len(requests))
         for request, analysis in zip(requests, analyses):
             self._finish(request, analysis_payload(analysis))
 
-    def _run_makespan_group(self, requests: list[BatchRequest]) -> None:
+    def _run_makespan_group(
+        self, requests: list[BatchRequest], flush_span=NULL_SPAN
+    ) -> None:
         params = requests[0].params
-        results = minimum_makespans_many(
-            [request.task for request in requests],
-            cores=params["cores"],
-            accelerators=params["accelerators"],
-            method=MakespanMethod(params["method"]),
-            time_limit=params["time_limit"],
-            jobs=self._jobs,
-            budget=self._oracle_budget,
-            breaker=self._oracle_breaker,
-        )
+        with self.tracer.shared_child(
+            flush_span,
+            "oracle.solve",
+            attributes={
+                "method": params["method"],
+                "requests": len(requests),
+            },
+        ) as oracle_span:
+            results = minimum_makespans_many(
+                [request.task for request in requests],
+                cores=params["cores"],
+                accelerators=params["accelerators"],
+                method=MakespanMethod(params["method"]),
+                time_limit=params["time_limit"],
+                jobs=self._jobs,
+                budget=self._oracle_budget,
+                breaker=self._oracle_breaker,
+            )
+            degraded = sum(1 for result in results if result.degraded)
+            if degraded:
+                oracle_span.set("degraded", degraded)
         self._count_engine_call(len(requests))
         for request, result in zip(requests, results):
             self._finish(request, makespan_payload(result))

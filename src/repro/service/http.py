@@ -15,6 +15,10 @@ Endpoints
 ``GET  /metrics``   the metrics registry -- Prometheus text exposition by
                     default, the JSON document when the ``Accept`` header
                     asks for ``application/json``
+``GET  /traces``    recent request traces kept by the tail-sampling ring
+                    (``?limit=N&slow=1&errors=1`` filter the summaries)
+``GET  /traces/<id>``  one trace's full span tree; ``?format=chrome``
+                    renders Chrome trace-event JSON loadable in Perfetto
 ``POST /simulate``  ``{"task": <task>, "cores": m, "accelerators": a,
                     "policy": name, "policy_seed": s, "priorities": {...},
                     "offload_enabled": true}`` -> ``{"makespan": ...}``
@@ -38,6 +42,7 @@ import argparse
 import json
 import logging
 import math
+import os
 import signal
 import sys
 import threading
@@ -45,6 +50,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Sequence
+from urllib.parse import parse_qs
 
 from ..core.exceptions import (
     ReproError,
@@ -59,6 +65,7 @@ from ..resilience import FAULTS
 from ..simulation.platform import Platform
 from ..simulation.workload import JobStream
 from .facade import EvaluationService
+from .tracing import TRACE_HEADER, chrome_trace, configure_logging
 
 _LOG = logging.getLogger("repro.service.http")
 
@@ -73,6 +80,7 @@ _ENDPOINTS = frozenset(
         "/analyse",
         "/makespan",
         "/workload",
+        "/traces",
     }
 )
 
@@ -124,24 +132,40 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
-        """Silence per-request stderr logging (the service keeps counters)."""
+        """Route http.server's own chatter into logging instead of stderr.
+
+        The per-request access log lives in :meth:`_instrumented` (which
+        has the timing and byte counts and is opt-in via ``--access-log``);
+        protocol-level messages from :mod:`http.server` itself land at
+        DEBUG so they surface under ``--log-level debug`` and stay silent
+        otherwise.
+        """
+        _LOG.debug(format, *args)
 
     def _instrumented(self, handler) -> None:
         """Run ``handler`` and record the per-endpoint HTTP metrics.
 
         Latency covers the whole handler (body read, service wait,
         response write) -- the figure a client actually experiences minus
-        the network.  Unknown paths share one ``"other"`` endpoint label.
+        the network.  Unknown paths share one ``"other"`` endpoint label;
+        ``/traces/<id>`` folds into ``/traces`` for the same reason.
         """
         started = time.perf_counter()
         self._status = 0
         self._response_bytes = 0
         self._request_bytes = 0
+        self._trace_id = None
         try:
             handler()
         finally:
             elapsed = time.perf_counter() - started
-            endpoint = self.path if self.path in _ENDPOINTS else "other"
+            path = self.path.partition("?")[0]
+            if path in _ENDPOINTS:
+                endpoint = path
+            elif path.startswith("/traces/"):
+                endpoint = "/traces"
+            else:
+                endpoint = "other"
             server = self.server
             server.metric_latency.observe(elapsed, endpoint=endpoint)
             server.metric_responses.inc(endpoint=endpoint, status=self._status)
@@ -152,6 +176,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if self._response_bytes:
                 server.metric_response_bytes.inc(
                     self._response_bytes, endpoint=endpoint
+                )
+            if server.access_log:
+                _LOG.info(
+                    "%s %s %d %.1fms",
+                    self.command,
+                    self.path,
+                    self._status,
+                    elapsed * 1e3,
+                    extra={
+                        "trace_id": self._trace_id,
+                        "data": {
+                            "method": self.command,
+                            "path": self.path,
+                            "status": self._status,
+                            "duration_ms": round(elapsed * 1e3, 3),
+                            "request_bytes": self._request_bytes,
+                            "response_bytes": self._response_bytes,
+                            "client": self.client_address[0],
+                        },
+                    },
                 )
 
     def _send_body(self, status: int, body: bytes, content_type: str) -> None:
@@ -170,6 +214,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_trace_id", None):
+            self.send_header(TRACE_HEADER, self._trace_id)
         if retry_after is not None:
             self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
@@ -193,13 +239,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
         the message text), ``retryable`` tells clients whether re-sending
         the identical request can ever succeed, and ``retry_after`` -- when
         present -- is mirrored as a ``Retry-After`` header (whole seconds,
-        rounded up, as HTTP requires).
+        rounded up, as HTTP requires).  Traced requests carry their
+        ``trace_id`` in the envelope so a failure report names the exact
+        trace to pull from ``GET /traces/<id>``.
         """
         envelope: dict = {
             "code": code,
             "message": message,
             "retryable": bool(retryable),
         }
+        if getattr(self, "_trace_id", None):
+            envelope["trace_id"] = self._trace_id
         if retry_after is not None:
             envelope["retry_after"] = float(retry_after)
         document = {"error": envelope}
@@ -327,7 +377,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._instrumented(self._handle_get)
 
     def _handle_get(self) -> None:
-        if self.path == "/health":
+        path, _, raw_query = self.path.partition("?")
+        if path == "/health":
             # A readiness probe, not a liveness one: a draining instance is
             # alive but must stop receiving traffic, so anything other than
             # "ok" is reported with a non-200 status a load balancer acts on.
@@ -341,9 +392,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 },
                 retry_after=1.0 if phase == "draining" else None,
             )
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send_json(200, self.server.service.stats())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             registry = self.server.service.metrics
             accept = self.headers.get("Accept", "")
             if "application/json" in accept:
@@ -354,6 +405,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     registry.render_prometheus().encode("utf-8"),
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
+        elif path == "/traces" or path.startswith("/traces/"):
+            self._handle_traces(path, raw_query)
         else:
             self._send_error(
                 404,
@@ -365,6 +418,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
                         "GET /health",
                         "GET /stats",
                         "GET /metrics",
+                        "GET /traces",
+                        "GET /traces/<id>",
                         "POST /simulate",
                         "POST /analyse",
                         "POST /makespan",
@@ -373,8 +428,83 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 },
             )
 
+    def _handle_traces(self, path: str, raw_query: str) -> None:
+        """Serve the trace ring: summaries on ``/traces``, one tree below it."""
+        tracer = self.server.service.tracer
+        query = parse_qs(raw_query)
+        if path == "/traces":
+            try:
+                limit = int(query.get("limit", ["50"])[0])
+            except ValueError:
+                self._send_error(
+                    400,
+                    "bad-request",
+                    f"limit must be an integer, got {query['limit'][0]!r}",
+                    retryable=False,
+                )
+                return
+            self._send_json(
+                200,
+                {
+                    "traces": tracer.list_traces(
+                        limit=max(limit, 0),
+                        slow=_query_flag(query, "slow"),
+                        errors=_query_flag(query, "errors"),
+                    ),
+                    "ring": tracer.ring_stats(),
+                },
+            )
+            return
+        trace_id = path[len("/traces/"):]
+        payload = tracer.get_trace(trace_id)
+        if payload is None:
+            self._send_error(
+                404,
+                "trace-not-found",
+                f"no trace {trace_id!r} in the ring (never sampled in, "
+                f"evicted, or tracing is disabled)",
+                retryable=False,
+            )
+            return
+        if query.get("format", [""])[0] == "chrome":
+            self._send_json(200, chrome_trace(payload))
+        else:
+            self._send_json(200, payload)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        self._instrumented(self._handle_post)
+        self._instrumented(self._traced_post)
+
+    def _traced_post(self) -> None:
+        """Run the POST handler under a request trace (no-op when disabled).
+
+        The trace id is taken from the caller's ``X-Repro-Trace-Id`` header
+        when well-formed (so a client can stamp its own id and correlate
+        retries), else freshly generated; either way it is echoed on the
+        response and embedded in the error envelope.  The trace finishes --
+        and is tail-sampled into the ring -- after the response bytes are
+        written, so the ``http.request`` root span covers the handling a
+        client actually observed.  Responses with status >= 400 mark the
+        trace as an error, which exempts it from probabilistic sampling.
+        """
+        tracer = self.server.service.tracer
+        trace = tracer.start_trace(
+            "http.request",
+            trace_id=self.headers.get(TRACE_HEADER),
+            attributes={
+                "method": self.command,
+                "path": self.path.partition("?")[0],
+            },
+        )
+        if trace is None:
+            self._handle_post()
+            return
+        self._trace_id = trace.trace_id
+        try:
+            with tracer.activate(trace):
+                self._handle_post()
+        finally:
+            trace.root.set("status", self._status)
+            tracer.finish_trace(trace, error=self._status >= 400)
 
     def _handle_post(self) -> None:
         service = self.server.service
@@ -479,6 +609,23 @@ def _platform_of(document: dict) -> Platform:
     )
 
 
+def _query_flag(query: dict, name: str) -> bool:
+    """True when a query parameter is present and not an explicit ``0``."""
+    values = query.get(name)
+    if not values:
+        return False
+    return values[-1].strip().lower() not in ("0", "false", "no")
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "no",
+    )
+
+
 class ServiceHTTPServer(ThreadingHTTPServer):
     """A :class:`ThreadingHTTPServer` bound to one evaluation service.
 
@@ -486,6 +633,9 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     construction.  The server does **not** own the service -- callers close
     the service themselves (see :func:`serve_from_args` for the standard
     shutdown order: stop accepting connections, then drain the service).
+    ``access_log=True`` emits one structured JSON log line per request on
+    the ``repro.service.http`` logger (see
+    :func:`repro.service.tracing.configure_logging`).
     """
 
     daemon_threads = True
@@ -504,8 +654,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: EvaluationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        access_log: bool = False,
     ) -> None:
         self.service = service
+        self.access_log = bool(access_log)
         self.started_at = time.monotonic()
         registry = service.metrics
         self.metric_latency = registry.histogram(
@@ -540,13 +692,14 @@ def start_server(
     service: EvaluationService,
     host: str = "127.0.0.1",
     port: int = 0,
+    access_log: bool = False,
 ) -> tuple[ServiceHTTPServer, threading.Thread]:
     """Start a server thread for in-process use (tests, examples).
 
     Returns the bound server and its (daemon) serving thread; call
     ``server.shutdown(); server.server_close()`` to stop it.
     """
-    server = ServiceHTTPServer(service, host=host, port=port)
+    server = ServiceHTTPServer(service, host=host, port=port, access_log=access_log)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-service-http", daemon=True
     )
@@ -652,11 +805,58 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the bound port to this file once listening "
         "(for scripts using --port 0)",
     )
+    parser.add_argument(
+        "--access-log",
+        action="store_true",
+        default=_env_flag("REPRO_ACCESS_LOG"),
+        help="emit one JSON log line per HTTP request (method, path, "
+        "status, duration, bytes, trace id); env REPRO_ACCESS_LOG=1 "
+        "also enables it",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=os.environ.get("REPRO_LOG_LEVEL", "warning"),
+        help="level of the repro.service JSON loggers: debug, info, "
+        "warning, error or critical (env REPRO_LOG_LEVEL; the access "
+        "log needs at least info)",
+    )
+    parser.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing entirely (no spans are recorded and "
+        "GET /traces serves an empty ring)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        help="probability in [0, 1] of keeping an unremarkable trace in "
+        "the ring; error, degraded and slow-percentile traces are always "
+        "kept (default 1.0; env REPRO_TRACE_SAMPLE)",
+    )
+    parser.add_argument(
+        "--trace-ring-bytes",
+        type=int,
+        default=None,
+        help="byte cap of the completed-trace ring (default 4 MiB; "
+        "env REPRO_TRACE_RING_BYTES)",
+    )
 
 
 def serve_from_args(args: argparse.Namespace) -> int:
     """Run the HTTP service until interrupted; returns the exit code."""
     try:
+        configure_logging(args.log_level)
+        trace_sample = (
+            args.trace_sample
+            if args.trace_sample is not None
+            else float(os.environ.get("REPRO_TRACE_SAMPLE") or 1.0)
+        )
+        trace_ring_bytes = (
+            args.trace_ring_bytes
+            if args.trace_ring_bytes is not None
+            else int(os.environ.get("REPRO_TRACE_RING_BYTES") or (4 << 20))
+        )
         service = EvaluationService(
             cache_bytes=args.cache_bytes,
             flush_interval=args.flush_interval,
@@ -670,12 +870,17 @@ def serve_from_args(args: argparse.Namespace) -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_reset=args.breaker_reset,
             vector_threshold=args.vector_threshold,
+            tracing=not args.no_tracing,
+            trace_sample=trace_sample,
+            trace_ring_bytes=trace_ring_bytes,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     try:
-        server = ServiceHTTPServer(service, host=args.host, port=args.port)
+        server = ServiceHTTPServer(
+            service, host=args.host, port=args.port, access_log=args.access_log
+        )
     except OSError as error:
         service.close()
         print(
@@ -701,10 +906,13 @@ def serve_from_args(args: argparse.Namespace) -> int:
         pass
     if args.port_file:
         Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
+    tracing_state = (
+        "off" if args.no_tracing else f"on (sample {trace_sample:g})"
+    )
     print(
         f"repro evaluation service listening on http://{args.host}:{server.port} "
         f"(cache {args.cache_bytes} bytes, flush {args.flush_interval * 1000:g} ms, "
-        f"max batch {args.max_batch})",
+        f"max batch {args.max_batch}, tracing {tracing_state})",
         flush=True,
     )
     if FAULTS.enabled:

@@ -55,6 +55,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.exceptions import SimulationError
+from .kernel_stats import record_kernel_batch
 
 __all__ = [
     "KIND_CODES",
@@ -205,7 +206,8 @@ int64_t repro_run_lanes(
     const int64_t *host_cores,   /* n_lanes */
     const int64_t *accelerators, /* n_lanes */
     const int64_t *kind,         /* n_lanes: 0 fifo, 1 static, 2 lifo, 3 random */
-    double        *out           /* n_lanes */
+    double        *out,          /* n_lanes */
+    int64_t       *stats         /* 2: [0] += retire windows, [1] += nodes retired */
 ) {
     int64_t max_n = 0, max_a = 0;
     for (int64_t l = 0; l < n_lanes; l++) {
@@ -283,6 +285,7 @@ int64_t repro_run_lanes(
             if (run_len == 0) { status = l + 1; goto done; }
 
             /* Advance to the earliest completion; retire the whole window. */
+            stats[0] += 1;
             now = running[0].finish;
             double threshold = now + 1e-12;
             while (run_len > 0 && running[0].finish <= threshold) {
@@ -305,6 +308,7 @@ int64_t repro_run_lanes(
             }
         }
         out[l] = makespan;
+        stats[1] += n;
     }
 
 done:
@@ -401,7 +405,7 @@ def load_kernel() -> Optional[ctypes.CDLL]:
             lib = ctypes.CDLL(_build_library())
             fn = lib.repro_run_lanes
             fn.restype = ctypes.c_int64
-            fn.argtypes = [ctypes.c_int64] + [ctypes.c_void_p] * 13
+            fn.argtypes = [ctypes.c_int64] + [ctypes.c_void_p] * 14
             _lib = lib
         except Exception as error:  # noqa: BLE001 - any failure means "absent"
             _reason = str(error)
@@ -462,6 +466,7 @@ def run_lanes(
         raise RuntimeError(f"compiled kernel unavailable: {_reason}")
     n_lanes = len(node_off) - 1
     out = np.empty(n_lanes, dtype=np.float64)
+    stats = np.zeros(2, dtype=np.int64)
     arrays = (
         _i64(node_off),
         _f64(wcet),
@@ -476,6 +481,7 @@ def run_lanes(
         _i64(accelerators),
         _i64(kinds),
         out,
+        stats,
     )
     status = lib.repro_run_lanes(
         ctypes.c_int64(n_lanes), *(a.ctypes.data for a in arrays)
@@ -487,4 +493,13 @@ def run_lanes(
         )
     if status < 0:
         raise MemoryError("compiled kernel scratch allocation failed")
+    # The C loop advances one lane per retire window, so each step has
+    # exactly one active lane (occupancy 1/n_lanes by construction).
+    record_kernel_batch(
+        "compiled",
+        lanes=n_lanes,
+        steps=int(stats[0]),
+        events=int(stats[1]),
+        lane_steps=int(stats[0]),
+    )
     return out

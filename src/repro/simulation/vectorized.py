@@ -105,6 +105,7 @@ from ..core.exceptions import SimulationError
 from ..core.graph import NodeId
 from ..core.task import DagTask
 from .engine import _as_platform, _device_assignment
+from .kernel_stats import record_kernel_batch
 from .platform import Platform
 from .schedulers import (
     VECTOR_FIFO,
@@ -1137,13 +1138,25 @@ class _LockstepBatch:
     # ------------------------------------------------------------------
     def run(self) -> np.ndarray:
         self._seed()
+        total_nodes = int(self.remaining.sum())
         active = self.remaining > 0
         self.n_active = int(active.sum())
         cand = np.nonzero(active)[0]
         self.b_act = int(cand[-1]) + 1 if len(cand) else 0
+        steps = 0
+        lane_steps = 0
         while self.n_active:
+            steps += 1
+            lane_steps += self.n_active
             self._start_phase(cand)
             cand = self._advance_and_retire(active)
+        record_kernel_batch(
+            "lockstep",
+            lanes=self.B,
+            steps=steps,
+            events=total_nodes,
+            lane_steps=lane_steps,
+        )
         return self.makespan
 
 

@@ -82,6 +82,7 @@ from ..core.exceptions import SimulationError
 from ..core.task import DagTask
 from ..generator.arrivals import ArrivalProcess
 from .engine import _as_platform, _device_assignment
+from .kernel_stats import record_kernel_batch
 from .platform import Platform
 from .schedulers import (
     VECTOR_FIFO,
@@ -498,7 +499,9 @@ def _reference_finish_times(problem: _WorkloadProblem) -> np.ndarray:
 
     release_ptr = 0
     instance_count = len(problem.instances)
+    steps = 0
     while remaining > 0:
+        steps += 1
         next_finish = running[0][0] if running else math.inf
         next_release = (
             releases[release_ptr] if release_ptr < instance_count else math.inf
@@ -543,6 +546,13 @@ def _reference_finish_times(problem: _WorkloadProblem) -> np.ndarray:
             release_ptr += 1
         start_ready(now)
 
+    record_kernel_batch(
+        "workload.reference",
+        lanes=1,
+        steps=steps,
+        events=total,
+        lane_steps=steps,
+    )
     return finish_time
 
 
@@ -839,7 +849,10 @@ class _CoupledEngine:
         p = self.p
         release_ptr = 0
         instance_count = len(p.instances)
+        steps = 0
+        retire_width = 0
         while self.remaining > 0:
+            steps += 1
             next_finish = float(self.slot_finish.min()) if len(
                 self.slot_finish
             ) else math.inf
@@ -855,6 +868,7 @@ class _CoupledEngine:
                     "nothing is running and no release is pending"
                 )
             done = np.flatnonzero(self.slot_finish <= now + _TIE)
+            retire_width += len(done)
             if len(done):
                 order = np.lexsort(
                     (self.slot_seq[done], self.slot_finish[done])
@@ -879,6 +893,15 @@ class _CoupledEngine:
                 self._release_batch(release_ptr, stop)
                 release_ptr = stop
             self._start_ready(now)
+        # lane_steps carries the summed retire-batch widths: occupancy is
+        # the mean batch width over the in-flight slot capacity.
+        record_kernel_batch(
+            "workload.numpy",
+            lanes=max(len(self.slot_finish), 1),
+            steps=steps,
+            events=p.total_nodes,
+            lane_steps=retire_width,
+        )
         return self.finish_time
 
 

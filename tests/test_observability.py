@@ -111,6 +111,67 @@ class TestMetricsEndpoint:
         assert responses[("/simulate", "200")] == 12
         assert responses[("/analyse", "200")] == 3
 
+    def test_kernel_counters_reconcile_with_trace_spans(self, served):
+        """PR 10: ``repro_kernel_*`` rows equal the trace-leaf profiles.
+
+        Both views are fed from the identical :class:`KernelBatchStats`
+        records -- the counters aggregate them, the engine spans carry the
+        merged profile in their ``kernel`` attribute -- so summing the
+        (deduplicated) span profiles across every kept trace must
+        reproduce the ``/metrics`` totals exactly.
+        """
+        service, _, client = served
+        tasks = [make_random_heterogeneous_task(seed, 0.3) for seed in range(4)]
+        for task in tasks:  # distinct tasks: all cache misses, engine runs
+            assert client.simulate(task, cores=2) > 0
+
+        # Traces finish after the response write -- let them land.
+        deadline = time.monotonic() + 5.0
+        while (
+            service.tracer.ring_stats()["kept"] < len(tasks)
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+
+        metrics = client.metrics()
+        steps_total = sum(
+            series["value"]
+            for series in metrics["counters"]["repro_kernel_steps_total"][
+                "series"
+            ]
+        )
+        events_total = sum(
+            series["value"]
+            for series in metrics["counters"]["repro_kernel_events_total"][
+                "series"
+            ]
+        )
+        occupancy_batches = sum(
+            series["count"]
+            for series in metrics["histograms"]["repro_kernel_lane_occupancy"][
+                "series"
+            ]
+        )
+
+        span_steps = span_events = span_batches = 0
+        seen: set = set()  # shared spans recur in every member trace
+        for summary in client.traces(limit=100)["traces"]:
+            payload = client.trace(summary["trace_id"])
+            for span in payload["spans"]:
+                kernel = span["attributes"].get("kernel")
+                if not kernel or span["span_id"] in seen:
+                    continue
+                seen.add(span["span_id"])
+                span_steps += kernel["steps"]
+                span_events += kernel["events"]
+                span_batches += kernel["batches"]
+                assert 0.0 <= kernel["occupancy"] <= 1.0
+
+        assert span_steps > 0 and span_events > 0
+        assert steps_total == span_steps
+        assert events_total == span_events
+        assert occupancy_batches == span_batches
+
     def test_prometheus_text_matches_json_over_http(self, served):
         _, _, client = served
         task = figure1_task(period=20, deadline=15)
